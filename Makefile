@@ -1,0 +1,30 @@
+# Convenience targets for the FASEA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench results claims replicate examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results:
+	$(PYTHON) -m repro run all --out results --quiet
+
+claims:
+	$(PYTHON) -m repro claims
+
+replicate:
+	$(PYTHON) -m repro replicate --seeds 5
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

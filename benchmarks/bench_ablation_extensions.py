@@ -1,0 +1,56 @@
+"""Ablation: the Remark 1 / Remark 2 extensions.
+
+Measures the overhead of the per-user policy pool over a single shared
+model, and of the dynamic-event-schedule runner over the plain runner.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import UcbPolicy
+from repro.datasets.synthetic import build_world
+from repro.extensions import DynamicEventSchedule, PerUserPolicyPool, run_dynamic_policy
+from repro.simulation.runner import run_policy
+
+HORIZON = 300
+
+
+def test_shared_model_run(benchmark):
+    config = bench_config(horizon=HORIZON)
+    world = build_world(config)
+    history = benchmark.pedantic(
+        lambda: run_policy(
+            UcbPolicy(dim=config.dim), world, horizon=HORIZON, run_seed=0
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert history.horizon == HORIZON
+
+
+def test_per_user_pool_run(benchmark):
+    config = bench_config(horizon=HORIZON)
+    world = build_world(config)
+
+    def play():
+        pool = PerUserPolicyPool(lambda user_id: UcbPolicy(dim=config.dim))
+        return run_policy(pool, world, horizon=HORIZON, run_seed=0)
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    assert history.horizon == HORIZON
+
+
+def test_dynamic_schedule_run(benchmark):
+    config = bench_config(horizon=HORIZON)
+    world = build_world(config)
+    schedule = DynamicEventSchedule.round_robin(
+        num_events=config.num_events, num_phases=2, phase_length=25
+    )
+
+    def play():
+        return run_dynamic_policy(
+            UcbPolicy(dim=config.dim), world, schedule, horizon=HORIZON, run_seed=0
+        )
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    assert history.horizon == HORIZON

@@ -1,0 +1,53 @@
+"""Ablation: Sherman-Morrison maintenance vs direct inversion.
+
+The paper budgets O(d^3) per round for inverting Y; the incremental
+rank-1 maintenance costs O(d^2) per arranged event.  This bench shows
+the crossover and verifies both modes agree numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg.ridge import RidgeState
+
+
+def feed(state, updates, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(size=(updates, dim))
+    rewards = rng.integers(0, 2, size=updates).astype(float)
+    for x, r in zip(xs, rewards):
+        state.update(x, float(r))
+        state.theta_hat()  # force the inverse to be used every step
+    return state
+
+
+@pytest.mark.parametrize("dim", [5, 20, 50])
+def test_incremental_updates(benchmark, dim):
+    state = benchmark.pedantic(
+        lambda: feed(RidgeState(dim=dim, refresh_every=4096), 100, dim),
+        rounds=3,
+        iterations=1,
+    )
+    assert state.num_observations == 100
+
+
+@pytest.mark.parametrize("dim", [5, 20, 50])
+def test_direct_inversion(benchmark, dim):
+    state = benchmark.pedantic(
+        lambda: feed(RidgeState(dim=dim, refresh_every=0), 100, dim),
+        rounds=3,
+        iterations=1,
+    )
+    assert state.num_observations == 100
+
+
+def test_modes_agree_numerically(benchmark):
+    def compare():
+        incremental = feed(RidgeState(dim=20, refresh_every=4096), 200, 20)
+        direct = feed(RidgeState(dim=20, refresh_every=0), 200, 20)
+        return float(
+            np.max(np.abs(incremental.theta_hat() - direct.theta_hat()))
+        )
+
+    gap = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert gap < 1e-8

@@ -1,0 +1,42 @@
+"""Figure 10: real-dataset replay for user u1 under both capacities."""
+
+import pytest
+
+from repro.bandits import make_policy
+from repro.simulation.realdata import (
+    full_knowledge_accept_ratio,
+    run_real_policy,
+)
+
+POLICIES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
+
+
+@pytest.mark.parametrize("mode", [5, "full"], ids=["cu5", "cufull"])
+@pytest.mark.parametrize("name", POLICIES)
+def test_real_replay_u1(benchmark, damai, name, mode):
+    user = damai.users[0]
+
+    def play():
+        policy = make_policy(name, dim=damai.dim, seed=1)
+        return run_real_policy(policy, damai, user, mode, horizon=300)
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    ceiling = full_knowledge_accept_ratio(damai, user, mode)
+    assert history.overall_accept_ratio <= ceiling + 1e-9
+
+
+def test_fig10_shape_ucb_beats_ts_on_u1(benchmark, damai):
+    user = damai.users[0]
+
+    def play():
+        out = {}
+        for name in ("UCB", "TS"):
+            policy = make_policy(name, dim=damai.dim, seed=1)
+            out[name] = run_real_policy(policy, damai, user, 5, horizon=500)
+        return out
+
+    histories = benchmark.pedantic(play, rounds=1, iterations=1)
+    assert (
+        histories["UCB"].overall_accept_ratio
+        > histories["TS"].overall_accept_ratio
+    )

@@ -1,0 +1,45 @@
+"""Figure 11: basic contextual bandit, varying |V|."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_HORIZON, bench_config
+from repro.bandits import OptPolicy, make_policy
+from repro.simulation.basic import build_basic_world
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("num_events", [20, 100, 200])
+def test_basic_ucb_run(benchmark, num_events):
+    world = build_basic_world(bench_config(num_events=num_events))
+
+    def play():
+        return run_policy(
+            make_policy("UCB", dim=world.config.dim, seed=1),
+            world,
+            horizon=BENCH_HORIZON,
+            run_seed=0,
+        )
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    assert history.arranged.max() <= 1  # single-arm rounds
+
+
+def test_fig11_shape_ts_bad_in_basic_mode_too(benchmark):
+    world = build_basic_world(bench_config(num_events=100, horizon=600))
+
+    def play():
+        out = {"OPT": run_policy(
+            OptPolicy(world.theta), world, horizon=600, run_seed=0
+        ).total_reward}
+        for name in ("UCB", "TS", "Random"):
+            out[name] = run_policy(
+                make_policy(name, dim=world.config.dim, seed=1),
+                world,
+                horizon=600,
+                run_seed=0,
+            ).total_reward
+        return out
+
+    rewards = benchmark.pedantic(play, rounds=1, iterations=1)
+    assert rewards["UCB"] > rewards["TS"]
+    assert rewards["UCB"] > 0.8 * rewards["OPT"]

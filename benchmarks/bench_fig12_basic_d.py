@@ -1,0 +1,44 @@
+"""Figure 12: basic contextual bandit, varying d."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_HORIZON, bench_config
+from repro.bandits import make_policy
+from repro.simulation.basic import build_basic_world
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("dim", [1, 5, 10, 15])
+def test_basic_ts_run(benchmark, dim):
+    world = build_basic_world(bench_config(dim=dim))
+
+    def play():
+        return run_policy(
+            make_policy("TS", dim=dim, seed=1),
+            world,
+            horizon=BENCH_HORIZON,
+            run_seed=0,
+        )
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    assert history.horizon == BENCH_HORIZON
+
+
+def test_fig12_shape_ts_better_at_small_d(benchmark):
+    def sweep():
+        out = {}
+        for dim in (1, 10):
+            world = build_basic_world(bench_config(dim=dim, horizon=600))
+            from repro.bandits import OptPolicy
+
+            opt = run_policy(
+                OptPolicy(world.theta), world, horizon=600, run_seed=0
+            )
+            ts = run_policy(
+                make_policy("TS", dim=dim, seed=1), world, horizon=600, run_seed=0
+            )
+            out[dim] = ts.total_reward / max(opt.total_reward, 1.0)
+        return out
+
+    fractions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert fractions[1] > fractions[10]

@@ -1,0 +1,48 @@
+"""Figure 2: Kendall-tau ranking diagnostics.
+
+Benchmarks the O(n log n) tau kernel at paper sizes (|V| = 500) and a
+tracked run, asserting the paper's finding: UCB's final correlation
+with the truth dominates TS's.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import make_policy
+from repro.datasets.synthetic import build_world
+from repro.metrics.kendall import kendall_tau
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("num_events", [100, 500, 1000])
+def test_kendall_kernel(benchmark, num_events):
+    rng = np.random.default_rng(0)
+    estimated = rng.normal(size=num_events)
+    truth = rng.normal(size=num_events)
+    tau = benchmark(kendall_tau, estimated, truth)
+    assert -1.0 <= tau <= 1.0
+
+
+def test_fig2_shape_ucb_tau_beats_ts(benchmark):
+    config = bench_config(horizon=600)
+    world = build_world(config)
+    checkpoints = [100, 300, 600]
+
+    def tracked(name):
+        policy = make_policy(name, dim=config.dim, seed=1)
+        return run_policy(
+            policy,
+            world,
+            horizon=600,
+            run_seed=0,
+            track_kendall=True,
+            kendall_checkpoints=checkpoints,
+        )
+
+    def run_both():
+        return tracked("UCB"), tracked("TS")
+
+    ucb, ts = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert ucb.kendall_taus[-1] > ts.kendall_taus[-1]
+    assert ucb.kendall_taus[-1] > 0.5

@@ -1,0 +1,36 @@
+"""Figure 5: theta/feature distributions — Power lifts every policy."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_config, run_suite
+from repro.datasets.distributions import distribution_from_name
+from repro.datasets.synthetic import ContextSampler
+
+DISTRIBUTIONS = ("uniform", "normal", "power", "shuffle")
+
+
+@pytest.mark.parametrize("name", DISTRIBUTIONS)
+def test_context_sampling_cost(benchmark, name):
+    spec = distribution_from_name(name, dim=20)
+    sampler = ContextSampler(spec, num_events=500, dim=20)
+    rng = np.random.default_rng(0)
+    contexts = benchmark(sampler.sample, rng)
+    assert contexts.shape == (500, 20)
+
+
+def test_fig5_shape_power_lifts_accept_ratios(benchmark):
+    def sweep():
+        out = {}
+        for dist in ("uniform", "power"):
+            out[dist] = run_suite(
+                bench_config(
+                    theta_distribution=dist, context_distribution=dist
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Power -> expected rewards near 1 -> even Random collects far more.
+    assert results["power"]["Random"] > 2 * results["uniform"]["Random"]
+    assert results["power"]["OPT"] >= results["uniform"]["OPT"]

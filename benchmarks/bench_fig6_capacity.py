@@ -1,0 +1,29 @@
+"""Figure 6: event capacities — small c_v exhausts, large keeps going."""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import OptPolicy
+from repro.datasets.synthetic import build_world
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("capacity_mean,capacity_std", [(4.0, 2.0), (100.0, 40.0)])
+def test_opt_run_under_capacity_regimes(benchmark, capacity_mean, capacity_std):
+    config = bench_config(
+        capacity_mean=capacity_mean, capacity_std=capacity_std, horizon=600
+    )
+    world = build_world(config)
+
+    def play():
+        return run_policy(OptPolicy(world.theta), world, horizon=600, run_seed=0)
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    cumulative = history.cumulative_rewards()
+    late_gain = cumulative[-1] - cumulative[-100]
+    if capacity_mean == 4.0:
+        # Tiny capacities: OPT has nothing left to assign at the end.
+        assert late_gain < 0.05 * cumulative[-1]
+    else:
+        # Ample capacities: OPT keeps collecting to the end.
+        assert late_gain > 0.05 * cumulative[-1]

@@ -1,0 +1,34 @@
+"""Figure 7: conflict ratio — cr=1 forces single-event arrangements."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import OptPolicy
+from repro.datasets.synthetic import build_world
+from repro.ebsn.conflicts import ConflictGraph, random_conflicts
+from repro.oracle.greedy import oracle_greedy
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("ratio", [0.0, 0.25, 0.5, 1.0])
+def test_oracle_greedy_cost_vs_conflict_ratio(benchmark, ratio):
+    num_events = 500
+    conflicts = ConflictGraph(num_events, random_conflicts(num_events, ratio, 0))
+    scores = np.random.default_rng(0).uniform(size=num_events)
+    capacities = np.ones(num_events)
+    arrangement = benchmark(oracle_greedy, scores, conflicts, capacities, 5)
+    assert conflicts.is_independent(arrangement)
+    if ratio == 1.0:
+        assert len(arrangement) == 1
+
+
+def test_fig7_shape_full_conflicts_single_event_rounds(benchmark):
+    config = bench_config(conflict_ratio=1.0, horizon=300)
+    world = build_world(config)
+
+    def play():
+        return run_policy(OptPolicy(world.theta), world, horizon=300, run_seed=0)
+
+    history = benchmark.pedantic(play, rounds=1, iterations=1)
+    assert history.arranged.max() <= 1

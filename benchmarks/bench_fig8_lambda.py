@@ -1,0 +1,29 @@
+"""Figure 8: ridge lambda — any of {0.5, 1, 2} learns; timing is flat."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_HORIZON, bench_config
+from repro.bandits import OptPolicy, UcbPolicy
+from repro.datasets.synthetic import build_world
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("lam", [0.5, 1.0, 2.0])
+def test_ucb_run_per_lambda(benchmark, lam):
+    config = bench_config()
+    world = build_world(config)
+
+    def play():
+        return run_policy(
+            UcbPolicy(dim=config.dim, lam=lam),
+            world,
+            horizon=BENCH_HORIZON,
+            run_seed=0,
+        )
+
+    history = benchmark.pedantic(play, rounds=2, iterations=1)
+    opt = run_policy(
+        OptPolicy(world.theta), world, horizon=BENCH_HORIZON, run_seed=0
+    )
+    # Whatever the lambda, UCB stays a learner: well above half of OPT.
+    assert history.total_reward > 0.5 * opt.total_reward

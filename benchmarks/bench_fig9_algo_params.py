@@ -1,0 +1,59 @@
+"""Figure 9: per-algorithm parameters (alpha, delta, epsilon)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_HORIZON, bench_config
+from repro.bandits import EpsilonGreedyPolicy, ThompsonSamplingPolicy, UcbPolicy
+from repro.datasets.synthetic import build_world
+from repro.simulation.runner import run_policy
+
+
+@pytest.mark.parametrize("alpha", [1.0, 2.0, 2.5])
+def test_ucb_alpha_sweep(benchmark, alpha):
+    config = bench_config()
+    world = build_world(config)
+    history = benchmark.pedantic(
+        lambda: run_policy(
+            UcbPolicy(dim=config.dim, alpha=alpha),
+            world,
+            horizon=BENCH_HORIZON,
+            run_seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert history.total_reward > 0
+
+
+@pytest.mark.parametrize("delta", [0.05, 0.1, 0.2])
+def test_ts_delta_sweep(benchmark, delta):
+    config = bench_config()
+    world = build_world(config)
+    history = benchmark.pedantic(
+        lambda: run_policy(
+            ThompsonSamplingPolicy(dim=config.dim, delta=delta, seed=1),
+            world,
+            horizon=BENCH_HORIZON,
+            run_seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert history.total_reward > 0
+
+
+@pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2])
+def test_egreedy_epsilon_sweep(benchmark, epsilon):
+    config = bench_config()
+    world = build_world(config)
+    history = benchmark.pedantic(
+        lambda: run_policy(
+            EpsilonGreedyPolicy(dim=config.dim, epsilon=epsilon, seed=1),
+            world,
+            horizon=BENCH_HORIZON,
+            run_seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert history.total_reward > 0

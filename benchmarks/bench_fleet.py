@@ -1,0 +1,74 @@
+"""Fleet runner vs individual runs: shared streams amortise context
+generation across policies (the dominant cost of every multi-policy
+experiment)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import OptPolicy, make_policy
+from repro.datasets.synthetic import build_world
+from repro.simulation.fleet import run_policy_fleet
+from repro.simulation.runner import run_policy
+
+HORIZON = 300
+NAMES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
+
+
+def _fleet(config, world):
+    policies = {"OPT": OptPolicy(world.theta)}
+    for name in NAMES:
+        policies[name] = make_policy(name, dim=config.dim, seed=1)
+    return run_policy_fleet(policies, world, horizon=HORIZON, run_seed=0)
+
+
+def test_fleet_all_policies(benchmark):
+    config = bench_config(horizon=HORIZON)
+    world = build_world(config)
+    histories = benchmark.pedantic(
+        lambda: _fleet(config, world), rounds=2, iterations=1
+    )
+    assert len(histories) == 6
+
+
+def test_individual_all_policies(benchmark):
+    config = bench_config(horizon=HORIZON)
+    world = build_world(config)
+
+    def run_all():
+        out = {
+            "OPT": run_policy(
+                OptPolicy(world.theta), world, horizon=HORIZON, run_seed=0
+            )
+        }
+        for name in NAMES:
+            out[name] = run_policy(
+                make_policy(name, dim=config.dim, seed=1),
+                world,
+                horizon=HORIZON,
+                run_seed=0,
+            )
+        return out
+
+    histories = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    assert len(histories) == 6
+
+
+def test_fleet_equivalence_spot_check(benchmark):
+    config = bench_config(horizon=HORIZON)
+    world = build_world(config)
+
+    def both():
+        fleet = _fleet(config, world)
+        single = run_policy(
+            make_policy("UCB", dim=config.dim, seed=1),
+            world,
+            horizon=HORIZON,
+            run_seed=0,
+        )
+        return fleet["UCB"], single
+
+    fleet_history, single_history = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    assert np.array_equal(fleet_history.rewards, single_history.rewards)

@@ -1,0 +1,40 @@
+"""Table 5: per-round time/memory of each algorithm as |V| grows.
+
+The benchmark *is* the table: one (algorithm, |V|) cell per test id;
+``pytest benchmarks/bench_table5_scaling_v.py --benchmark-only`` prints
+the same grid the paper reports (in Python rather than C++).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import make_policy
+from repro.datasets.synthetic import build_world
+from repro.simulation.environment import FaseaEnvironment
+
+SIZES = (100, 500, 1000)
+POLICIES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
+
+
+@pytest.mark.parametrize("num_events", SIZES)
+@pytest.mark.parametrize("name", POLICIES)
+def test_round_cost(benchmark, name, num_events):
+    config = bench_config(num_events=num_events, dim=20, capacity_mean=1000.0)
+    world = build_world(config)
+    env = FaseaEnvironment(world, run_seed=0)
+    policy = make_policy(name, dim=config.dim, seed=1)
+    # Warm the model with a few rounds first.
+    for _ in range(5):
+        view = env.begin_round()
+        arrangement = policy.select(view)
+        rewards, _ = env.commit(arrangement)
+        policy.observe(view, arrangement, rewards)
+
+    def one_round():
+        view = env.begin_round()
+        arrangement = policy.select(view)
+        rewards, _ = env.commit(arrangement)
+        policy.observe(view, arrangement, rewards)
+        return arrangement
+
+    benchmark.pedantic(one_round, rounds=30, iterations=1)

@@ -1,0 +1,34 @@
+"""Table 6: per-round time of each algorithm as d grows (|V| fixed)."""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bandits import make_policy
+from repro.datasets.synthetic import build_world
+from repro.simulation.environment import FaseaEnvironment
+
+DIMS = (1, 5, 10, 15)
+POLICIES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
+
+
+@pytest.mark.parametrize("dim", DIMS)
+@pytest.mark.parametrize("name", POLICIES)
+def test_round_cost(benchmark, name, dim):
+    config = bench_config(num_events=500, dim=dim, capacity_mean=1000.0)
+    world = build_world(config)
+    env = FaseaEnvironment(world, run_seed=0)
+    policy = make_policy(name, dim=dim, seed=1)
+    for _ in range(5):
+        view = env.begin_round()
+        arrangement = policy.select(view)
+        rewards, _ = env.commit(arrangement)
+        policy.observe(view, arrangement, rewards)
+
+    def one_round():
+        view = env.begin_round()
+        arrangement = policy.select(view)
+        rewards, _ = env.commit(arrangement)
+        policy.observe(view, arrangement, rewards)
+        return arrangement
+
+    benchmark.pedantic(one_round, rounds=30, iterations=1)

@@ -1,0 +1,52 @@
+"""Table 7: real-dataset accept ratios across users (reduced horizon).
+
+Runs the five policies for a sample of users and asserts the paper's
+qualitative rows: UCB near the top for most users, TS near Random,
+and at least one user on whom Exploit scores exactly zero.
+"""
+
+import pytest
+
+from repro.bandits import make_policy
+from repro.simulation.realdata import run_real_policy
+
+SAMPLE_USERS = (0, 4, 9, 14, 18)
+
+
+@pytest.mark.parametrize("user_index", SAMPLE_USERS)
+def test_user_block(benchmark, damai, user_index):
+    user = damai.users[user_index]
+
+    def play():
+        return {
+            name: run_real_policy(
+                make_policy(name, dim=damai.dim, seed=1),
+                damai,
+                user,
+                5,
+                horizon=200,
+            ).overall_accept_ratio
+            for name in ("UCB", "TS", "eGreedy", "Exploit", "Random")
+        }
+
+    ratios = benchmark.pedantic(play, rounds=1, iterations=1)
+    assert ratios["UCB"] >= ratios["TS"]
+    assert ratios["UCB"] >= ratios["Random"]
+
+
+def test_tab7_shape_exploit_lock_in_exists(benchmark, damai):
+    def all_exploit():
+        return [
+            run_real_policy(
+                make_policy("Exploit", dim=damai.dim, seed=1),
+                damai,
+                user,
+                5,
+                horizon=100,
+            ).overall_accept_ratio
+            for user in damai.users
+        ]
+
+    ratios = benchmark.pedantic(all_exploit, rounds=1, iterations=1)
+    assert any(r == 0.0 for r in ratios)
+    assert any(r > 0.5 for r in ratios)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The paper's running example (Examples 1-3, Table 2).
+
+Four events — football (v1), basketball (v2), concert (v3), BBQ (v4) —
+with v1 conflicting with v2.  A user who wants two weekend events logs
+in; features are the hand-set values of Table 2.  We walk one TS round
+and one UCB round explicitly, printing estimated rewards and the
+arrangement Oracle-Greedy produces, mirroring the narrative of
+Examples 2 and 3.
+
+Run with::
+
+    python examples/running_example.py
+"""
+
+import numpy as np
+
+from repro.bandits import ThompsonSamplingPolicy, UcbPolicy
+from repro.bandits.base import RoundView
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.users import User
+
+EVENT_NAMES = ("v1 football", "v2 basketball", "v3 concert", "v4 BBQ")
+
+# Table 2 of the paper.
+ROUND1_FEATURES = np.array(
+    [
+        [0.1, 0.0, 0.5, 0.2],
+        [0.2, 0.1, 0.0, 0.1],
+        [0.2, 0.3, 0.0, 0.2],
+        [0.0, 0.0, 1.0, 0.0],
+    ]
+)
+ROUND2_FEATURES = np.array(
+    [
+        [0.2, 0.1, 0.2, 0.1],
+        [0.1, 0.2, 0.0, 0.1],
+        [0.0, 0.0, 0.0, 0.5],
+        [0.2, 0.1, 0.4, 0.0],
+    ]
+)
+
+
+def make_view(time_step: int, contexts: np.ndarray, capacity: int) -> RoundView:
+    conflicts = ConflictGraph(4, [(0, 1)])  # football conflicts with basketball
+    return RoundView(
+        time_step=time_step,
+        user=User(user_id=time_step, capacity=capacity),
+        contexts=contexts,
+        remaining_capacities=np.array([10.0, 10.0, 10.0, 10.0]),
+        conflicts=conflicts,
+    )
+
+
+def show_round(label: str, scores: np.ndarray, arrangement) -> None:
+    print(f"  {label}")
+    for name, score in zip(EVENT_NAMES, scores):
+        print(f"    {name:<14} estimated reward {score:+.3f}")
+    chosen = ", ".join(EVENT_NAMES[i] for i in arrangement)
+    print(f"    -> arranged: {chosen}")
+
+
+def main() -> None:
+    print("Thompson Sampling (Example 2): estimates start at the prior, so")
+    print("the first sampled theta is pure noise and the arrangement is a")
+    print("guess; feedback then sharpens the posterior.\n")
+    ts = ThompsonSamplingPolicy(dim=4, seed=0)
+    view1 = make_view(1, ROUND1_FEATURES, capacity=2)
+    theta_tilde = ts.sample_theta(1)
+    scores = ROUND1_FEATURES @ theta_tilde
+    arrangement = ts.select(view1)
+    show_round("round 1 (c_u=2):", scores, arrangement)
+    # The user rejects everything (as in the paper's Example 2).
+    ts.observe(view1, arrangement, [0.0] * len(arrangement))
+    view2 = make_view(2, ROUND2_FEATURES, capacity=1)
+    arrangement2 = ts.select(view2)
+    show_round(
+        "round 2 (c_u=1):", ts.predicted_scores(ROUND2_FEATURES), arrangement2
+    )
+
+    print("\nUCB (Example 3): with no data every event has the same loose")
+    print("confidence bonus, so UCB explores the widest-spread contexts.\n")
+    ucb = UcbPolicy(dim=4, alpha=2.0)
+    view1 = make_view(1, ROUND1_FEATURES, capacity=2)
+    bounds = ucb.upper_confidence_bounds(ROUND1_FEATURES)
+    arrangement = ucb.select(view1)
+    show_round("round 1 (c_u=2):", bounds, arrangement)
+    # Suppose the user accepts both, as in Example 3.
+    ucb.observe(view1, arrangement, [1.0] * len(arrangement))
+    view2 = make_view(2, ROUND2_FEATURES, capacity=1)
+    arrangement2 = ucb.select(view2)
+    show_round(
+        "round 2 (c_u=1):", ucb.upper_confidence_bounds(ROUND2_FEATURES), arrangement2
+    )
+
+    print("\nNote how v1 and v2 never appear together: they conflict, and")
+    print("Oracle-Greedy blocks the later-visited one (Definition 1).")
+
+
+if __name__ == "__main__":
+    main()

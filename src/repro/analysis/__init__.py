@@ -1,0 +1,26 @@
+"""Analysis tooling: multi-seed replication, bootstrap confidence
+intervals, and curve-shape detectors (plateaus, crossovers).
+
+The paper reports single-run curves; this package adds the statistical
+hygiene a reproduction needs — run each configuration across seeds,
+attach confidence intervals to the headline comparisons, and *detect*
+the qualitative shapes (the sudden regret drop, the UCB/TS gap) rather
+than eyeballing them.
+"""
+
+from repro.analysis.bootstrap import bootstrap_mean_ci
+from repro.analysis.convergence import (
+    detect_plateau,
+    find_crossover,
+    relative_improvement,
+)
+from repro.analysis.replication import ReplicationResult, replicate_policies
+
+__all__ = [
+    "ReplicationResult",
+    "bootstrap_mean_ci",
+    "detect_plateau",
+    "find_crossover",
+    "relative_improvement",
+    "replicate_policies",
+]

@@ -1,0 +1,38 @@
+"""Bootstrap confidence intervals for small samples of run metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: RngLike = None,
+) -> Tuple[float, float, float]:
+    """(mean, low, high) percentile-bootstrap CI of the sample mean.
+
+    With a single observation the interval degenerates to the point.
+    """
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples < 1:
+        raise ConfigurationError(f"num_resamples must be >= 1, got {num_resamples}")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, mean, mean
+    rng = make_rng(seed)
+    resamples = rng.choice(values, size=(num_resamples, values.size), replace=True)
+    means = resamples.mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return mean, float(low), float(high)

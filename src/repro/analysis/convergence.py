@@ -1,0 +1,78 @@
+"""Curve-shape detectors for the paper's qualitative claims.
+
+* :func:`detect_plateau` — the step at which a cumulative-reward curve
+  stops growing (the mechanism behind the paper's "sudden drop" of
+  regret once OPT has assigned all events).
+* :func:`find_crossover` — the first step at which one curve overtakes
+  another (e.g. where UCB's accept ratio passes eGreedy's).
+* :func:`relative_improvement` — scalar gap between two final values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def detect_plateau(
+    cumulative: Sequence[float],
+    window: int = 100,
+    tolerance: float = 0.01,
+) -> Optional[int]:
+    """First 1-based step after which the curve is essentially flat.
+
+    A plateau starts at step ``s`` when the total remaining gain
+    (``final - cumulative[s-1]``) is below ``tolerance * final`` *and*
+    at least ``window`` points remain — so the flatness is observed,
+    not just the trivial end of the horizon.  Returns ``None`` when the
+    curve is still growing within the last observable window.
+    """
+    cumulative = np.asarray(cumulative, dtype=float)
+    if cumulative.ndim != 1 or cumulative.size < 2:
+        raise ConfigurationError("need a 1-D curve with at least 2 points")
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if np.any(np.diff(cumulative) < -1e-9):
+        raise ConfigurationError("cumulative curve must be non-decreasing")
+    final = cumulative[-1]
+    if final <= 0:
+        return 1  # a flat-zero curve plateaus immediately
+    threshold = tolerance * final
+    last_observable = cumulative.size - window  # need `window` points after s
+    for start in range(max(last_observable, 0) + 1):
+        if final - cumulative[start] <= threshold:
+            return start + 1
+    return None
+
+
+def find_crossover(
+    lead: Sequence[float],
+    trail: Sequence[float],
+    sustain: int = 1,
+) -> Optional[int]:
+    """First 1-based index at which ``lead`` exceeds ``trail`` and stays
+    above it for ``sustain`` consecutive points.  ``None`` if never.
+    """
+    lead = np.asarray(lead, dtype=float)
+    trail = np.asarray(trail, dtype=float)
+    if lead.shape != trail.shape or lead.ndim != 1:
+        raise ConfigurationError("curves must be 1-D and equally long")
+    if sustain < 1:
+        raise ConfigurationError(f"sustain must be >= 1, got {sustain}")
+    above = lead > trail
+    run = 0
+    for index, flag in enumerate(above):
+        run = run + 1 if flag else 0
+        if run >= sustain:
+            return index - sustain + 2  # 1-based start of the sustained run
+    return None
+
+
+def relative_improvement(value: float, baseline: float) -> float:
+    """``(value - baseline) / |baseline|`` (inf when baseline is 0)."""
+    if baseline == 0:
+        return float("inf") if value > 0 else 0.0
+    return (value - baseline) / abs(baseline)

@@ -1,0 +1,113 @@
+"""Multi-seed replication of a policy comparison.
+
+Runs the paper's five policies (plus OPT) on several world/run seeds
+and aggregates the scalar metrics with bootstrap confidence intervals.
+This is the statistically honest version of every "A beats B" claim in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bootstrap import bootstrap_mean_ci
+from repro.bandits import POLICY_NAMES, OptPolicy, make_policy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.exceptions import ConfigurationError
+from repro.io.runstore import RunStore
+from repro.simulation.runner import run_policy
+
+
+@dataclass
+class ReplicationResult:
+    """Aggregated metrics of one configuration across seeds."""
+
+    config: SyntheticConfig
+    seeds: Tuple[int, ...]
+    horizon: int
+    #: policy -> list of per-seed values.
+    accept_ratios: Dict[str, List[float]] = field(default_factory=dict)
+    total_regrets: Dict[str, List[float]] = field(default_factory=dict)
+
+    def accept_ratio_ci(
+        self, policy: str, confidence: float = 0.95
+    ) -> Tuple[float, float, float]:
+        """(mean, low, high) of the accept ratio across seeds."""
+        return bootstrap_mean_ci(
+            self.accept_ratios[policy], confidence=confidence, seed=0
+        )
+
+    def regret_ci(
+        self, policy: str, confidence: float = 0.95
+    ) -> Tuple[float, float, float]:
+        """(mean, low, high) of the total regret across seeds."""
+        return bootstrap_mean_ci(
+            self.total_regrets[policy], confidence=confidence, seed=0
+        )
+
+    def dominates(self, better: str, worse: str) -> bool:
+        """Whether ``better`` beats ``worse`` on accept ratio on *every* seed."""
+        return all(
+            b > w
+            for b, w in zip(self.accept_ratios[better], self.accept_ratios[worse])
+        )
+
+    def summary_rows(self) -> List[List[object]]:
+        """Rows of (policy, mean ratio, CI, mean regret) for reporting."""
+        rows: List[List[object]] = []
+        for policy in sorted(self.accept_ratios):
+            mean, low, high = self.accept_ratio_ci(policy)
+            if policy in self.total_regrets:
+                regret_mean, _, _ = self.regret_ci(policy)
+            else:
+                regret_mean = None
+            rows.append([policy, mean, low, high, regret_mean])
+        return rows
+
+
+def replicate_policies(
+    config: SyntheticConfig,
+    seeds: Sequence[int],
+    horizon: Optional[int] = None,
+    policy_names: Sequence[str] = POLICY_NAMES,
+    policy_seed: int = 1,
+    store: Optional[RunStore] = None,
+    experiment: str = "replication",
+) -> ReplicationResult:
+    """Run each policy on every seed; optionally log into a RunStore.
+
+    Each seed rebuilds the world (new theta/capacities/conflicts) *and*
+    the run streams, so variation across seeds captures both sources.
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    horizon = horizon if horizon is not None else config.horizon
+    result = ReplicationResult(config=config, seeds=seeds, horizon=horizon)
+    result.accept_ratios = {name: [] for name in ("OPT", *policy_names)}
+    result.total_regrets = {name: [] for name in policy_names}
+    for seed in seeds:
+        world = build_world(config.with_overrides(seed=seed))
+        opt_history = run_policy(
+            OptPolicy(world.theta), world, horizon=horizon, run_seed=seed
+        )
+        result.accept_ratios["OPT"].append(opt_history.overall_accept_ratio)
+        if store is not None:
+            store.record_history(experiment, opt_history, seed=seed, run_seed=seed)
+        for name in policy_names:
+            policy = make_policy(name, dim=config.dim, seed=policy_seed)
+            history = run_policy(policy, world, horizon=horizon, run_seed=seed)
+            result.accept_ratios[name].append(history.overall_accept_ratio)
+            result.total_regrets[name].append(
+                opt_history.total_reward - history.total_reward
+            )
+            if store is not None:
+                store.record_history(
+                    experiment,
+                    history,
+                    seed=seed,
+                    run_seed=seed,
+                    reference=opt_history,
+                )
+    return result

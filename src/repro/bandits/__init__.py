@@ -1,0 +1,69 @@
+"""Bandit policies for FASEA (Algorithms 1, 3, 4 plus baselines).
+
+All online policies share two pieces of machinery:
+
+* :class:`~repro.bandits.linear.LinearModel` — the ridge-regression
+  estimate of the unknown weight vector ``theta`` (lines 1-2, 5-6 and
+  13-14 of Algorithms 1/3/4 live here exactly once);
+* :func:`~repro.oracle.greedy.oracle_greedy` — the combinatorial
+  arrangement step.
+
+They differ only in how they turn the model into per-event scores:
+
+========= =====================================================
+Policy     Score for event ``v`` at step ``t``
+========= =====================================================
+TS         ``x^T theta~``, ``theta~ ~ N(theta^, q^2 Y^-1)``
+UCB        ``x^T theta^ + alpha * sqrt(x^T Y^-1 x)``
+eGreedy    ``x^T theta^`` (prob. 1-eps) / random (prob. eps)
+Exploit    ``x^T theta^``
+Random     uniformly random visiting order, no model
+OPT        ``x^T theta`` with the *true* theta (reference)
+========= =====================================================
+"""
+
+from repro.bandits.base import Policy, RoundView
+from repro.bandits.disjoint import DisjointUcbPolicy
+from repro.bandits.egreedy import EpsilonGreedyPolicy
+from repro.bandits.exploit import ExploitPolicy
+from repro.bandits.linear import LinearModel
+from repro.bandits.opt import OptPolicy
+from repro.bandits.random_policy import RandomPolicy
+from repro.bandits.ts import ThompsonSamplingPolicy
+from repro.bandits.ucb import UcbPolicy
+
+__all__ = [
+    "DisjointUcbPolicy",
+    "EpsilonGreedyPolicy",
+    "ExploitPolicy",
+    "LinearModel",
+    "OptPolicy",
+    "Policy",
+    "RandomPolicy",
+    "RoundView",
+    "ThompsonSamplingPolicy",
+    "UcbPolicy",
+]
+
+#: Factory helpers keyed by the names the paper uses in its figures.
+POLICY_NAMES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
+
+
+def make_policy(name, dim, lam=1.0, alpha=2.0, delta=0.1, epsilon=0.1, seed=None):
+    """Instantiate one of the paper's five online policies by name.
+
+    Parameters mirror Table 4's algorithm parameters: ridge ``lam``,
+    UCB ``alpha``, TS ``delta``, eGreedy ``epsilon`` (defaults are the
+    paper's bold defaults).
+    """
+    if name == "UCB":
+        return UcbPolicy(dim=dim, lam=lam, alpha=alpha)
+    if name == "TS":
+        return ThompsonSamplingPolicy(dim=dim, lam=lam, delta=delta, seed=seed)
+    if name == "eGreedy":
+        return EpsilonGreedyPolicy(dim=dim, lam=lam, epsilon=epsilon, seed=seed)
+    if name == "Exploit":
+        return ExploitPolicy(dim=dim, lam=lam)
+    if name == "Random":
+        return RandomPolicy(seed=seed)
+    raise ValueError(f"unknown policy name {name!r}; expected one of {POLICY_NAMES}")

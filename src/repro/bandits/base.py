@@ -1,0 +1,102 @@
+"""Policy interface and the per-round view handed to policies.
+
+A policy sees exactly what the FASEA problem statement reveals at time
+step ``t`` (Definition 3): the arriving user's capacity, a context
+vector per event, which events still have capacity, and the (static)
+conflict graph.  After committing an arrangement it observes one reward
+per arranged event.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ebsn.conflicts import BaseConflictGraph
+from repro.ebsn.users import User
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """Everything revealed to a policy at one time step.
+
+    Attributes
+    ----------
+    time_step:
+        1-based step index ``t`` (TS's exploration width depends on it).
+    user:
+        The arriving user (capacity ``c_u`` and metadata).
+    contexts:
+        Array of shape ``(|V|, d)``; row ``v`` is ``x_{t,v}``.
+    remaining_capacities:
+        Remaining ``c_v`` per event id at the start of the step.
+    conflicts:
+        The conflict graph (shared across steps).
+    """
+
+    time_step: int
+    user: User
+    contexts: np.ndarray
+    remaining_capacities: np.ndarray
+    conflicts: BaseConflictGraph
+
+    @property
+    def num_events(self) -> int:
+        return self.contexts.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.contexts.shape[1]
+
+
+class Policy(abc.ABC):
+    """An online arrangement policy.
+
+    The runner calls :meth:`select` once per round, commits the returned
+    arrangement to the platform, then calls :meth:`observe` with the
+    per-event rewards (1 accepted / 0 rejected).
+    """
+
+    #: Human-readable name used in reports; subclasses override.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(self, view: RoundView) -> List[int]:
+        """Return the arrangement ``A_t`` (event ids) for this round."""
+
+    def observe(
+        self,
+        view: RoundView,
+        arranged: Sequence[int],
+        rewards: Sequence[float],
+    ) -> None:
+        """Consume per-event feedback for the arranged events.
+
+        Default is a no-op (Random and OPT do not learn).
+        """
+
+    def reset(self) -> None:
+        """Forget all learned state (used when replaying a policy)."""
+
+    def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
+        """Point estimates ``x^T theta^`` used for ranking diagnostics.
+
+        Policies without a model (Random) return zeros; the Kendall-tau
+        experiment (Figure 2) compares these rankings to the truth.
+        """
+        return np.zeros(np.atleast_2d(contexts).shape[0])
+
+    def ranking_scores(self, contexts: np.ndarray, time_step: int) -> np.ndarray:
+        """Scores the policy would rank events by at ``time_step``.
+
+        Defaults to the point estimate; TS overrides this with a fresh
+        posterior sample, which is what makes its rank correlation with
+        the truth fluctuate in the paper's Figure 2.
+        """
+        return self.predicted_scores(contexts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,77 @@
+"""epsilon-Greedy for FASEA (Algorithm 4 of the paper).
+
+With probability ``epsilon`` arrange up to ``c_u`` non-conflicting
+available events uniformly at random (exploration); otherwise arrange
+greedily by the point estimate ``x^T theta^`` (exploitation).  Either
+way, the observed feedback updates the shared ridge state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.bandits.base import Policy, RoundView
+from repro.bandits.linear import LinearModel
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+from repro.oracle.greedy import oracle_greedy
+from repro.oracle.random_order import random_arrangement
+
+
+class EpsilonGreedyPolicy(Policy):
+    """The paper's eGreedy heuristic.
+
+    Parameters
+    ----------
+    dim:
+        Feature dimension ``d``.
+    lam:
+        Ridge regulariser (Table 4 default 1).
+    epsilon:
+        Exploration probability (Table 4 default 0.1).
+    seed:
+        RNG seed for the explore/exploit coin and random arrangements.
+    """
+
+    name = "eGreedy"
+
+    def __init__(
+        self,
+        dim: int,
+        lam: float = 1.0,
+        epsilon: float = 0.1,
+        seed: RngLike = None,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.model = LinearModel(dim=dim, lam=lam)
+        self.epsilon = float(epsilon)
+        self._rng = make_rng(seed)
+
+    def select(self, view: RoundView) -> List[int]:
+        if self._rng.uniform() <= self.epsilon:
+            return random_arrangement(
+                conflicts=view.conflicts,
+                remaining_capacities=view.remaining_capacities,
+                user_capacity=view.user.capacity,
+                rng=self._rng,
+            )
+        return oracle_greedy(
+            scores=self.model.predict(view.contexts),
+            conflicts=view.conflicts,
+            remaining_capacities=view.remaining_capacities,
+            user_capacity=view.user.capacity,
+        )
+
+    def observe(
+        self, view: RoundView, arranged: Sequence[int], rewards: Sequence[float]
+    ) -> None:
+        self.model.observe(view.contexts, arranged, rewards)
+
+    def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
+        return self.model.predict(contexts)
+
+    def reset(self) -> None:
+        self.model.reset()

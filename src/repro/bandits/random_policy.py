@@ -1,0 +1,30 @@
+"""Random baseline: arrange available non-conflicting events at random.
+
+No model is maintained; the paper uses Random as the floor every
+learning policy must beat (and notes that TS sometimes barely does).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bandits.base import Policy, RoundView
+from repro.linalg.sampling import RngLike, make_rng
+from repro.oracle.random_order import random_arrangement
+
+
+class RandomPolicy(Policy):
+    """Uniform random arrangement subject to feasibility."""
+
+    name = "Random"
+
+    def __init__(self, seed: RngLike = None) -> None:
+        self._rng = make_rng(seed)
+
+    def select(self, view: RoundView) -> List[int]:
+        return random_arrangement(
+            conflicts=view.conflicts,
+            remaining_capacities=view.remaining_capacities,
+            user_capacity=view.user.capacity,
+            rng=self._rng,
+        )

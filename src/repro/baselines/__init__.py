@@ -1,0 +1,5 @@
+"""Non-feedback-aware baselines the paper compares against."""
+
+from repro.baselines.online_greedy import OnlineGreedyPolicy, tag_interestingness
+
+__all__ = ["OnlineGreedyPolicy", "tag_interestingness"]

@@ -1,0 +1,251 @@
+"""Command-line interface: ``fasea`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Print the known experiment ids (one per paper table/figure).
+``run <ids...>``
+    Run one or more experiments (or ``all``) and write text + CSV
+    reports under ``--out`` (default ``results/``).
+``quickstart``
+    A tiny end-to-end demonstration run on the default setting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments import get_experiment, list_experiments, render_result, save_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fasea",
+        description=(
+            "Reproduce 'Feedback-Aware Social Event-Participant Arrangement' "
+            "(SIGMOD 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run experiments and save reports")
+    run.add_argument("ids", nargs="+", help="experiment ids or 'all'")
+    run.add_argument("--out", default="results", help="output directory")
+    run.add_argument(
+        "--scale",
+        default="scaled",
+        choices=("scaled", "paper"),
+        help="synthetic workload scale (see DESIGN.md)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="world seed")
+    run.add_argument(
+        "--horizon", type=int, default=None, help="override the horizon T"
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="do not print reports to stdout"
+    )
+
+    sub.add_parser("quickstart", help="run a tiny demonstration")
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="re-run the default comparison across several seeds with CIs",
+    )
+    replicate.add_argument("--seeds", type=int, default=5, help="number of seeds")
+    replicate.add_argument(
+        "--horizon", type=int, default=3000, help="rounds per run"
+    )
+    replicate.add_argument(
+        "--store", default=None, help="optional SQLite file to log runs into"
+    )
+
+    claims = sub.add_parser(
+        "claims", help="re-certify the paper's summary claims"
+    )
+    claims.add_argument(
+        "ids", nargs="*", help="claim ids (C1..C5); default: all"
+    )
+
+    export = sub.add_parser(
+        "export-damai", help="write the Damai-like dataset to CSV/JSON"
+    )
+    export.add_argument("--out", default="data/damai", help="output directory")
+    export.add_argument(
+        "--seed", type=int, default=2016, help="dataset seed (2016 = canonical)"
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two results directories for drift"
+    )
+    diff.add_argument("baseline", help="baseline results directory")
+    diff.add_argument("candidate", help="candidate results directory")
+    diff.add_argument(
+        "--tolerance", type=float, default=1e-9, help="relative tolerance"
+    )
+
+    report = sub.add_parser(
+        "report", help="grade a results directory into a markdown report"
+    )
+    report.add_argument("--results", default="results", help="results directory")
+    report.add_argument(
+        "--out", default=None, help="write the markdown here (default: stdout)"
+    )
+    return parser
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    ids = list_experiments() if "all" in args.ids else args.ids
+    outdir = Path(args.out)
+    for experiment_id in ids:
+        runner = get_experiment(experiment_id)
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.horizon is not None and experiment_id.startswith("fig"):
+            if experiment_id == "fig10":
+                kwargs["regret_horizon"] = args.horizon
+            else:
+                kwargs["horizon"] = args.horizon
+        if experiment_id in ("fig10", "tab7"):
+            # The real dataset has its own canonical seed.
+            kwargs["seed"] = 2016 if args.seed == 0 else args.seed
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        directory = save_result(result, outdir)
+        if not args.quiet:
+            print(render_result(result))
+        print(f"[{experiment_id}] saved to {directory} ({elapsed:.1f}s)", file=sys.stderr)
+    return 0
+
+
+def _quickstart() -> int:
+    from repro import OptPolicy, SyntheticConfig, build_world, make_policy, run_policy
+
+    config = SyntheticConfig.scaled_default(seed=42)
+    world = build_world(config)
+    opt_history = run_policy(OptPolicy(world.theta), world, horizon=2000)
+    print("policy     accept_ratio  total_reward  regret_vs_OPT")
+    for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
+        policy = make_policy(name, dim=config.dim, seed=7)
+        history = run_policy(policy, world, horizon=2000)
+        regret = opt_history.total_reward - history.total_reward
+        print(
+            f"{name:<10} {history.overall_accept_ratio:>12.3f} "
+            f"{history.total_reward:>13.0f} {regret:>14.0f}"
+        )
+    return 0
+
+
+def _replicate(args: argparse.Namespace) -> int:
+    from repro.analysis import replicate_policies
+    from repro.datasets.synthetic import SyntheticConfig
+    from repro.experiments.reporting import format_table
+    from repro.io import RunStore
+
+    config = SyntheticConfig.scaled_default().with_overrides(horizon=args.horizon)
+    store = RunStore(args.store) if args.store else None
+    try:
+        result = replicate_policies(
+            config, seeds=range(args.seeds), horizon=args.horizon, store=store
+        )
+    finally:
+        if store is not None:
+            store.close()
+    rows = [
+        [policy, f"{mean:.3f}", f"[{low:.3f}, {high:.3f}]",
+         "-" if regret is None else f"{regret:.0f}"]
+        for policy, mean, low, high, regret in result.summary_rows()
+    ]
+    print(
+        format_table(
+            ["policy", "accept_ratio", "95% CI", "mean regret"], rows
+        )
+    )
+    ts_vs_random = result.dominates("TS", "Random")
+    ucb_vs_ts = result.dominates("UCB", "TS")
+    print(
+        f"\nUCB > TS on every seed: {ucb_vs_ts}; "
+        f"TS > Random on every seed: {ts_vs_random}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("\n".join(list_experiments()))
+        return 0
+    if args.command == "run":
+        return _run_experiments(args)
+    if args.command == "quickstart":
+        return _quickstart()
+    if args.command == "replicate":
+        return _replicate(args)
+    if args.command == "claims":
+        return _claims(args)
+    if args.command == "export-damai":
+        return _export_damai(args)
+    if args.command == "diff":
+        return _diff(args)
+    if args.command == "report":
+        return _report(args)
+    return 1
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_gen import grade_results, render_report
+
+    findings = grade_results(args.results)
+    text = render_report(findings, args.results)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0 if all(f.holds is not False for f in findings) else 1
+
+
+def _diff(args: argparse.Namespace) -> int:
+    from repro.experiments.diffcheck import compare_results_dirs, summarize_drift
+
+    drifts, problems = compare_results_dirs(
+        args.baseline, args.candidate, tolerance=args.tolerance
+    )
+    print(summarize_drift(drifts, problems), end="")
+    return 1 if (drifts or problems) else 0
+
+
+def _export_damai(args: argparse.Namespace) -> int:
+    from repro.datasets.damai import load_damai
+    from repro.datasets.export import export_damai
+
+    dataset = load_damai(args.seed)
+    paths = export_damai(dataset, args.out)
+    for name, path in sorted(paths.items()):
+        print(f"{name:<12} {path}")
+    return 0
+
+
+def _claims(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import run_claims
+
+    results = run_claims(only=args.ids or None)
+    failures = 0
+    for result in results:
+        verdict = "REPRODUCED" if result.holds else "NOT REPRODUCED"
+        if not result.holds:
+            failures += 1
+        print(f"[{result.claim_id}] {verdict} ({result.seconds:.1f}s)")
+        print(f"    claim:    {result.statement}")
+        print(f"    evidence: {result.evidence}")
+    print(f"\n{len(results) - failures}/{len(results)} claims reproduced")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

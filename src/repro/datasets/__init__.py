@@ -1,0 +1,43 @@
+"""Dataset generation: Table 4 synthetic workloads and the Damai catalogue.
+
+* :mod:`~repro.datasets.distributions` — Uniform / Normal / Power /
+  Shuffle samplers for ``theta`` and feature vectors, plus capacity
+  samplers.
+* :mod:`~repro.datasets.encoding` — the binary categorical encoding of
+  [26] used by the real dataset (Table 3).
+* :mod:`~repro.datasets.synthetic` — :class:`SyntheticConfig` and the
+  world builder implementing Table 4 (defaults in bold there).
+* :mod:`~repro.datasets.damai` — a deterministic Damai.com-like
+  catalogue of 50 Beijing events and 19 labelled users (the paper's
+  real dataset; see DESIGN.md for the substitution rationale).
+* :mod:`~repro.datasets.meetup` — a larger Meetup-like generator for
+  the examples.
+"""
+
+from repro.datasets.distributions import (
+    Normal,
+    Power,
+    Shuffle,
+    Uniform,
+    distribution_from_name,
+    sample_capacities,
+    sample_matrix,
+    sample_unit_theta,
+    unit_normalize_rows,
+)
+from repro.datasets.synthetic import SyntheticConfig, SyntheticWorld, build_world
+
+__all__ = [
+    "Normal",
+    "Power",
+    "Shuffle",
+    "Uniform",
+    "SyntheticConfig",
+    "SyntheticWorld",
+    "build_world",
+    "distribution_from_name",
+    "sample_capacities",
+    "sample_matrix",
+    "sample_unit_theta",
+    "unit_normalize_rows",
+]

@@ -1,0 +1,189 @@
+"""Value distributions for ``theta``, features, and capacities (Table 4).
+
+The paper generates the true weight vector and the feature values from
+Uniform [-1, 1], Power(2) and Normal(0, 1), plus a per-dimension
+"shuffle" mix for features, then normalises vectors to unit length.
+
+The Power distribution is parametrised here as density
+``(a + 1) x^a`` on [0, 1] (default ``a = 2``), which concentrates mass
+near 1 — matching the paper's observation that under Power the values
+"are generally large (closer to 1)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Uniform on ``[low, high]`` (paper default [-1, 1])."""
+
+    low: float = -1.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ConfigurationError(f"need low < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, shape) -> np.ndarray:
+        """Draw an array of the given shape."""
+        return rng.uniform(self.low, self.high, size=shape)
+
+
+@dataclass(frozen=True)
+class Normal:
+    """Gaussian with the given mean and standard deviation."""
+
+    mean: float = 0.0
+    std: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.std <= 0:
+            raise ConfigurationError(f"std must be > 0, got {self.std}")
+
+    def sample(self, rng: np.random.Generator, shape) -> np.ndarray:
+        """Draw an array of the given shape."""
+        return rng.normal(self.mean, self.std, size=shape)
+
+
+@dataclass(frozen=True)
+class Power:
+    """Density ``(a + 1) x^a`` on [0, 1]; mass concentrates near 1."""
+
+    exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise ConfigurationError(f"exponent must be >= 0, got {self.exponent}")
+
+    def sample(self, rng: np.random.Generator, shape) -> np.ndarray:
+        """Draw an array of the given shape.
+
+        numpy's ``power(a)`` has density ``a x^{a-1}``; the +1 shift
+        makes our ``exponent`` the exponent of the density itself.
+        """
+        return rng.power(self.exponent + 1.0, size=shape)
+
+
+@dataclass(frozen=True)
+class Shuffle:
+    """Per-dimension mix: dimension ``i`` (1-based) cycles through
+    Uniform, Normal(mean=i/d), Power — the paper's "shuffle" feature
+    generator ("the values of the 1st, 4th, ... dimensions follow
+    Uniform ..., the 2nd dimension Normal with mean 2/d, the 3rd, 6th,
+    ... Power").
+    """
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {self.dim}")
+
+    def spec_for_dimension(self, index: int) -> Union[Uniform, Normal, Power]:
+        """The scalar spec for 0-based dimension ``index``."""
+        if not 0 <= index < self.dim:
+            raise ConfigurationError(f"dimension {index} outside 0..{self.dim - 1}")
+        position = index % 3  # 1-based dims 1,4,.. -> 0; 2,5,.. -> 1; 3,6,.. -> 2
+        if position == 0:
+            return Uniform()
+        if position == 1:
+            return Normal(mean=(index + 1) / self.dim, std=1.0)
+        return Power()
+
+    def sample(self, rng: np.random.Generator, shape) -> np.ndarray:
+        """Draw an array whose last axis mixes the per-dimension specs."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        if shape[-1] != self.dim:
+            raise ConfigurationError(
+                f"last axis must equal dim={self.dim}, got shape {shape}"
+            )
+        out = np.empty(shape)
+        for index in range(self.dim):
+            spec = self.spec_for_dimension(index)
+            out[..., index] = spec.sample(rng, shape[:-1])
+        return out
+
+
+DistributionSpec = Union[Uniform, Normal, Power, Shuffle]
+
+#: Names accepted on the CLI / in experiment configs.
+DISTRIBUTION_NAMES = ("uniform", "normal", "power", "shuffle")
+
+
+def distribution_from_name(name: str, dim: int) -> DistributionSpec:
+    """Map a Table 4 distribution name to a spec instance."""
+    lowered = name.lower()
+    if lowered == "uniform":
+        return Uniform()
+    if lowered == "normal":
+        return Normal()
+    if lowered == "power":
+        return Power()
+    if lowered == "shuffle":
+        return Shuffle(dim=dim)
+    raise ConfigurationError(
+        f"unknown distribution {name!r}; expected one of {DISTRIBUTION_NAMES}"
+    )
+
+
+def sample_matrix(
+    spec: DistributionSpec, rng: np.random.Generator, shape
+) -> np.ndarray:
+    """Draw an array of the given shape from ``spec``."""
+    return spec.sample(rng, shape)
+
+
+def unit_normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Scale each row to unit Euclidean norm (zero rows stay zero).
+
+    The paper requires ``||x_{t,v}|| <= 1`` and normalises both theta
+    and the feature vectors to unit length.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe
+
+
+def sample_unit_theta(
+    spec: DistributionSpec, dim: int, seed: RngLike = None
+) -> np.ndarray:
+    """Draw the true weight vector and normalise it to unit length."""
+    rng = make_rng(seed)
+    theta = np.asarray(spec.sample(rng, (dim,)), dtype=float).reshape(-1)
+    norm = np.linalg.norm(theta)
+    if norm == 0:
+        # Vanishingly unlikely for continuous draws; fall back to a basis vector.
+        theta = np.zeros(dim)
+        theta[0] = 1.0
+        return theta
+    return theta / norm
+
+
+def sample_capacities(
+    num_events: int, mean: float, std: float, seed: RngLike = None
+) -> np.ndarray:
+    """Draw event capacities from Normal(mean, std), rounded, clamped >= 1.
+
+    Table 4 lists c_v ~ N(100, 100), N(200, 100) (default), N(500, 200).
+    The second parameter is read as a standard deviation; draws are
+    clamped so every event can take at least one attendee.
+    """
+    if num_events < 1:
+        raise ConfigurationError(f"num_events must be >= 1, got {num_events}")
+    if mean <= 0 or std <= 0:
+        raise ConfigurationError(
+            f"capacity mean and std must be > 0, got mean={mean}, std={std}"
+        )
+    rng = make_rng(seed)
+    draws = np.rint(rng.normal(mean, std, size=num_events))
+    return np.maximum(draws, 1.0)

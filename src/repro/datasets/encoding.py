@@ -1,0 +1,150 @@
+"""Binary categorical feature encoding (Table 3 / reference [26]).
+
+The paper encodes each categorical feature value as a short binary
+vector: with three performer values the codes are male ``<0,1>``,
+female ``<1,0>``, group ``<1,1>`` — i.e. value number ``k`` (1-based)
+written in binary over ``ceil(log2(n + 1))`` bits, most significant bit
+first, with the all-zero code unused.
+
+:class:`CategoricalEncoder` assigns codes to a fixed vocabulary;
+:class:`FeatureSchema` concatenates several categorical and numeric
+fields into one feature vector and applies the paper's normalisation
+(divide every component by ``d`` so that ``||x|| <= 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def code_width(num_values: int) -> int:
+    """Bits needed so every value 1..n has a distinct non-zero code."""
+    if num_values < 1:
+        raise ConfigurationError(f"need at least one value, got {num_values}")
+    return max(1, math.ceil(math.log2(num_values + 1)))
+
+
+def binary_encode(index_one_based: int, width: int) -> Tuple[int, ...]:
+    """Binary code of a 1-based value index, most significant bit first."""
+    if index_one_based < 1:
+        raise ConfigurationError(f"index must be >= 1, got {index_one_based}")
+    if index_one_based >= 2**width:
+        raise ConfigurationError(
+            f"index {index_one_based} does not fit in {width} bits"
+        )
+    return tuple((index_one_based >> bit) & 1 for bit in range(width - 1, -1, -1))
+
+
+class CategoricalEncoder:
+    """Encodes values from a fixed vocabulary into binary codes."""
+
+    def __init__(self, values: Sequence[str]) -> None:
+        values = list(values)
+        if len(set(values)) != len(values):
+            raise ConfigurationError(f"duplicate vocabulary values in {values}")
+        if not values:
+            raise ConfigurationError("vocabulary must be non-empty")
+        self.values = values
+        self.width = code_width(len(values))
+        self._index: Dict[str, int] = {v: i + 1 for i, v in enumerate(values)}
+
+    def encode(self, value: str) -> Tuple[int, ...]:
+        """The binary code of ``value``."""
+        if value not in self._index:
+            raise ConfigurationError(
+                f"unknown value {value!r}; vocabulary is {self.values}"
+            )
+        return binary_encode(self._index[value], self.width)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class CategoricalField:
+    """A named categorical schema field with its vocabulary."""
+
+    name: str
+    values: Tuple[str, ...]
+
+    @property
+    def width(self) -> int:
+        return code_width(len(self.values))
+
+
+@dataclass(frozen=True)
+class NumericField:
+    """A named numeric schema field expected in ``[low, high]``."""
+
+    name: str
+    low: float = 0.0
+    high: float = 1.0
+
+    @property
+    def width(self) -> int:
+        return 1
+
+
+SchemaField = Union[CategoricalField, NumericField]
+
+
+class FeatureSchema:
+    """Concatenates schema fields into one feature vector.
+
+    ``encode`` takes a mapping from field name to value (a vocabulary
+    string for categorical fields, a float for numeric fields) and
+    returns the raw concatenated vector; ``encode_normalized`` divides
+    by the total dimension ``d``, the paper's normalisation for the
+    real dataset ("dividing each feature value by d = 20").
+    """
+
+    def __init__(self, fields: Sequence[SchemaField]) -> None:
+        if not fields:
+            raise ConfigurationError("schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate field names in {names}")
+        self.fields: Tuple[SchemaField, ...] = tuple(fields)
+        self._encoders: Dict[str, CategoricalEncoder] = {
+            f.name: CategoricalEncoder(f.values)
+            for f in fields
+            if isinstance(f, CategoricalField)
+        }
+        self.dim = sum(f.width for f in fields)
+
+    def encode(self, record: Mapping[str, object]) -> np.ndarray:
+        """Raw (un-normalised) feature vector for ``record``."""
+        parts: List[float] = []
+        for field in self.fields:
+            if field.name not in record:
+                raise ConfigurationError(f"record is missing field {field.name!r}")
+            value = record[field.name]
+            if isinstance(field, CategoricalField):
+                parts.extend(self._encoders[field.name].encode(str(value)))
+            else:
+                numeric = float(value)  # type: ignore[arg-type]
+                if not field.low <= numeric <= field.high:
+                    raise ConfigurationError(
+                        f"{field.name}={numeric} outside [{field.low}, {field.high}]"
+                    )
+                parts.append(numeric)
+        return np.asarray(parts, dtype=float)
+
+    def encode_normalized(self, record: Mapping[str, object]) -> np.ndarray:
+        """Feature vector divided by ``d`` so that ``||x|| <= 1``."""
+        return self.encode(record) / self.dim
+
+    def field_slices(self) -> Dict[str, slice]:
+        """Map each field name to its slice of the concatenated vector."""
+        slices: Dict[str, slice] = {}
+        offset = 0
+        for field in self.fields:
+            slices[field.name] = slice(offset, offset + field.width)
+            offset += field.width
+        return slices

@@ -1,0 +1,136 @@
+"""Export datasets to CSV / JSON for inspection and external tools.
+
+The Damai-like and Meetup-like catalogues are generated in memory; this
+module writes them to plain files (events, users, feedback matrices,
+conflict pairs) and can read an event table back, so the data feeding
+any experiment can be audited without running Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.datasets.damai import DamaiDataset
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def export_damai(dataset: DamaiDataset, directory: PathLike) -> Dict[str, Path]:
+    """Write the full dataset bundle; returns the paths written.
+
+    Produces ``events.csv``, ``users.csv``, ``feedback.csv`` (19 x 50
+    0/1 matrix), ``conflicts.csv`` and ``features_u1.csv`` (the feature
+    matrix the first user sees, for eyeballing the encoding).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+
+    events_path = directory / "events.csv"
+    with events_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "event_id",
+                "title",
+                "category",
+                "subcategory",
+                "performers",
+                "country",
+                "price_band",
+                "day_of_week",
+                "day_index",
+                "start_hour",
+                "venue_lon",
+                "venue_lat",
+            ]
+        )
+        for event in dataset.events:
+            writer.writerow(
+                [
+                    event.event_id,
+                    event.title,
+                    event.category,
+                    event.subcategory,
+                    event.performers,
+                    event.country,
+                    event.price_band,
+                    event.day_of_week,
+                    event.day_index,
+                    event.start_hour,
+                    event.venue[0],
+                    event.venue[1],
+                ]
+            )
+    paths["events"] = events_path
+
+    users_path = directory / "users.csv"
+    with users_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user_id", "home_lon", "home_lat", "yes_count", "preferred_tags"])
+        for user in dataset.users:
+            writer.writerow(
+                [
+                    user.user_id,
+                    user.home[0],
+                    user.home[1],
+                    user.yes_count,
+                    "|".join(sorted(user.preferred_tags)),
+                ]
+            )
+    paths["users"] = users_path
+
+    feedback_path = directory / "feedback.csv"
+    with feedback_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["user_id"] + [f"v{e.event_id}" for e in dataset.events]
+        )
+        for user in dataset.users:
+            row = dataset.feedback_vector(user).astype(int).tolist()
+            writer.writerow([user.user_id] + row)
+    paths["feedback"] = feedback_path
+
+    conflicts_path = directory / "conflicts.csv"
+    with conflicts_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["event_i", "event_j"])
+        writer.writerows(sorted(dataset.conflicts.pairs()))
+    paths["conflicts"] = conflicts_path
+
+    features_path = directory / "features_u1.csv"
+    with features_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"x{i}" for i in range(dataset.dim)])
+        writer.writerows(dataset.feature_matrix(dataset.users[0]).tolist())
+    paths["features_u1"] = features_path
+
+    manifest = directory / "manifest.json"
+    manifest.write_text(
+        json.dumps(
+            {
+                "num_events": dataset.num_events,
+                "num_users": len(dataset.users),
+                "dim": dataset.dim,
+                "conflict_pairs": dataset.conflicts.num_pairs(),
+                "files": {name: path.name for name, path in paths.items()},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    paths["manifest"] = manifest
+    return paths
+
+
+def read_event_table(path: PathLike) -> List[Dict[str, str]]:
+    """Read an exported ``events.csv`` back as a list of row dicts."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no event table at {path}")
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))

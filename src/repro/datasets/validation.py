@@ -1,0 +1,116 @@
+"""Dataset validators: certify an instance satisfies the paper's contract.
+
+Users can generate their own worlds (other seeds, custom samplers,
+hand-built catalogues); these validators check the invariants every
+FASEA experiment silently assumes — before a long run wastes hours on
+a malformed instance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.datasets.damai import MAX_YES, MIN_YES, DamaiDataset
+from repro.datasets.synthetic import SyntheticWorld
+from repro.exceptions import ReproError
+
+
+class DatasetValidationError(ReproError):
+    """An instance violates the FASEA data contract."""
+
+
+def validate_world(world: SyntheticWorld, context_samples: int = 3) -> List[str]:
+    """Check a synthetic world; returns the list of passed checks.
+
+    Raises :class:`DatasetValidationError` on the first violation.
+    """
+    passed: List[str] = []
+
+    if abs(np.linalg.norm(world.theta) - 1.0) > 1e-9:
+        raise DatasetValidationError(
+            f"theta norm is {np.linalg.norm(world.theta):.6f}, expected 1"
+        )
+    passed.append("theta has unit norm")
+
+    if world.capacities.shape != (world.config.num_events,):
+        raise DatasetValidationError("capacity vector does not match |V|")
+    if world.capacities.min() < 1:
+        raise DatasetValidationError("some event has capacity < 1")
+    if not np.all(world.capacities == np.rint(world.capacities)):
+        raise DatasetValidationError("capacities must be integral")
+    passed.append("capacities integral and >= 1")
+
+    if world.conflicts.num_events != world.config.num_events:
+        raise DatasetValidationError("conflict graph does not cover |V|")
+    for i, j in world.conflicts.pairs():
+        if not world.conflicts.conflicts(j, i):
+            raise DatasetValidationError(f"conflict ({i},{j}) is not symmetric")
+    passed.append("conflict graph consistent and symmetric")
+
+    sampler = world.make_context_sampler()
+    rng = np.random.default_rng(0)
+    for _ in range(context_samples):
+        contexts = sampler.sample(rng)
+        if contexts.shape != (world.config.num_events, world.config.dim):
+            raise DatasetValidationError(
+                f"context matrix has shape {contexts.shape}"
+            )
+        norms = np.linalg.norm(contexts, axis=1)
+        if np.any(norms > 1.0 + 1e-9):
+            raise DatasetValidationError("a context row exceeds unit norm")
+        if not np.all(np.isfinite(contexts)):
+            raise DatasetValidationError("contexts contain non-finite values")
+    passed.append(f"{context_samples} context samples within the norm bound")
+
+    probabilities = world.accept_probabilities(sampler.sample(rng))
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise DatasetValidationError("acceptance probabilities leave [0, 1]")
+    passed.append("acceptance probabilities in [0, 1]")
+    return passed
+
+
+def validate_damai(dataset: DamaiDataset) -> List[str]:
+    """Check a Damai-like dataset against the Table 3 contract."""
+    passed: List[str] = []
+
+    if dataset.num_events != 50:
+        raise DatasetValidationError(
+            f"catalogue has {dataset.num_events} events, expected 50"
+        )
+    if len(dataset.users) != 19:
+        raise DatasetValidationError(
+            f"dataset has {len(dataset.users)} users, expected 19"
+        )
+    if dataset.dim != 20:
+        raise DatasetValidationError(f"feature dim is {dataset.dim}, expected 20")
+    passed.append("50 events / 19 users / 20 dims")
+
+    for user in dataset.users:
+        if not MIN_YES <= user.yes_count <= MAX_YES:
+            raise DatasetValidationError(
+                f"u{user.user_id + 1} has {user.yes_count} Yes feedbacks, "
+                f"outside [{MIN_YES}, {MAX_YES}]"
+            )
+        if not user.yes_events <= set(range(dataset.num_events)):
+            raise DatasetValidationError(
+                f"u{user.user_id + 1} references unknown events"
+            )
+    passed.append("yes-counts within the paper's 7-26 range")
+
+    for user in dataset.users[:3]:
+        matrix = dataset.feature_matrix(user)
+        if matrix.shape != (50, 20):
+            raise DatasetValidationError("feature matrix has the wrong shape")
+        if np.any(np.linalg.norm(matrix, axis=1) > 1.0 + 1e-9):
+            raise DatasetValidationError("a feature row exceeds unit norm")
+    passed.append("feature matrices bounded by unit norm")
+
+    for i, j in dataset.conflicts.pairs():
+        if not dataset.events[i].overlaps(dataset.events[j]):
+            raise DatasetValidationError(
+                f"conflict ({i},{j}) does not correspond to a time overlap"
+            )
+    passed.append("every conflict pair is a genuine time overlap")
+    return passed

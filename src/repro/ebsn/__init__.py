@@ -1,0 +1,33 @@
+"""EBSN platform substrate: events, conflicts, users, ledger, platform.
+
+This package implements the "database" side of FASEA — the state an
+event-based social network holds independently of any learning policy:
+
+* :class:`~repro.ebsn.events.EventStore` — the event catalogue with
+  capacity accounting.
+* :class:`~repro.ebsn.conflicts.ConflictGraph` — which event pairs a
+  single user cannot attend together (Definition 1 of the paper).
+* :mod:`~repro.ebsn.users` — user records and online arrival streams.
+* :class:`~repro.ebsn.ledger.RegistrationLedger` — append-only log of
+  every arrangement and its feedback.
+* :class:`~repro.ebsn.platform.Platform` — the façade policies interact
+  with: it validates arrangements against Definition 3's constraints
+  and commits accepted registrations.
+"""
+
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.events import Event, EventStore
+from repro.ebsn.ledger import LedgerEntry, RegistrationLedger
+from repro.ebsn.platform import Platform
+from repro.ebsn.users import User, UserArrivalStream
+
+__all__ = [
+    "ConflictGraph",
+    "Event",
+    "EventStore",
+    "LedgerEntry",
+    "RegistrationLedger",
+    "Platform",
+    "User",
+    "UserArrivalStream",
+]

@@ -1,0 +1,118 @@
+"""Secondary indexes and queries over an event catalogue.
+
+The platform substrate stores events by dense id; real EBSN frontends
+(and the Remark-2 dynamic schedules, the OnlineGreedy baseline, the
+example scripts) need to *query* the catalogue — by category, tag,
+day of week, price band, or free predicates.  :class:`EventCatalog`
+wraps a sequence of :class:`~repro.ebsn.events.Event` records with
+hash-map secondary indexes so those lookups are O(result) rather than
+O(|V|) scans.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.ebsn.events import Event
+from repro.exceptions import ConfigurationError, UnknownEventError
+
+
+class EventCatalog:
+    """An indexed, immutable view over a list of events."""
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        if not events:
+            raise ConfigurationError("a catalog needs at least one event")
+        self._events: List[Event] = list(events)
+        ids = [e.event_id for e in self._events]
+        if sorted(ids) != list(range(len(ids))):
+            raise ConfigurationError("event ids must be the dense range 0..|V|-1")
+        self._events.sort(key=lambda e: e.event_id)
+        self._by_category: Dict[str, List[int]] = defaultdict(list)
+        self._by_subcategory: Dict[str, List[int]] = defaultdict(list)
+        self._by_tag: Dict[str, List[int]] = defaultdict(list)
+        self._by_attribute: Dict[str, Dict[object, List[int]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for event in self._events:
+            if event.category:
+                self._by_category[event.category].append(event.event_id)
+            if event.subcategory:
+                self._by_subcategory[event.subcategory].append(event.event_id)
+            for tag in event.tags:
+                self._by_tag[tag].append(event.event_id)
+            for key, value in event.attributes.items():
+                if isinstance(value, (str, int, bool)):
+                    self._by_attribute[key][value].append(event.event_id)
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, event_id: int) -> Event:
+        if not 0 <= event_id < len(self._events):
+            raise UnknownEventError(event_id)
+        return self._events[event_id]
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Index lookups (all return sorted event-id lists)
+    # ------------------------------------------------------------------
+    def by_category(self, category: str) -> List[int]:
+        """Events in a category (empty list for unknown categories)."""
+        return list(self._by_category.get(category, []))
+
+    def by_subcategory(self, subcategory: str) -> List[int]:
+        return list(self._by_subcategory.get(subcategory, []))
+
+    def by_tag(self, tag: str) -> List[int]:
+        return list(self._by_tag.get(tag, []))
+
+    def by_attribute(self, key: str, value: object) -> List[int]:
+        """Events whose ``attributes[key] == value`` (hashable values only)."""
+        return list(self._by_attribute.get(key, {}).get(value, []))
+
+    def categories(self) -> FrozenSet[str]:
+        return frozenset(self._by_category)
+
+    def tags(self) -> FrozenSet[str]:
+        return frozenset(self._by_tag)
+
+    # ------------------------------------------------------------------
+    # Composite queries
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Event], bool]) -> List[int]:
+        """Event ids satisfying a free predicate (full scan)."""
+        return [e.event_id for e in self._events if predicate(e)]
+
+    def matching_any_tag(self, tags: Iterable[str]) -> List[int]:
+        """Events carrying at least one of ``tags`` (set union)."""
+        found = set()
+        for tag in tags:
+            found.update(self._by_tag.get(tag, []))
+        return sorted(found)
+
+    def mask_for(self, event_ids: Iterable[int]) -> np.ndarray:
+        """Boolean mask over the catalogue for a set of event ids.
+
+        The shape the simulation layer expects (e.g. to build a
+        :class:`~repro.extensions.dynamic_events.DynamicEventSchedule`
+        phase from a query).
+        """
+        mask = np.zeros(len(self._events), dtype=bool)
+        for event_id in event_ids:
+            if not 0 <= event_id < len(self._events):
+                raise UnknownEventError(event_id)
+            mask[event_id] = True
+        return mask
+
+    def category_histogram(self) -> Dict[str, int]:
+        """Number of events per category (reporting helper)."""
+        return {category: len(ids) for category, ids in self._by_category.items()}

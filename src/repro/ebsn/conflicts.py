@@ -1,0 +1,240 @@
+"""Conflict graphs over events (Definition 1 of the paper).
+
+A pair of events conflicts when a single user can attend at most one of
+them (e.g. overlapping start times).  Two interchangeable backends
+implement the same interface:
+
+* :class:`DenseConflictGraph` — an ``|V| x |V|`` boolean matrix; right
+  choice for the synthetic workloads where the conflict ratio ``cr``
+  can reach 1.0.
+* :class:`SparseConflictGraph` — adjacency sets; right choice for small
+  or sparse instances such as the 50-event Damai catalogue.
+
+:func:`ConflictGraph` (the public constructor) picks a backend by
+density, and :func:`random_conflicts` draws a conflict set of a target
+ratio ``cr = |CF| / (|V| (|V|-1) / 2)`` exactly as Table 4 defines it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+
+Pair = Tuple[int, int]
+
+#: Pair-count density above which the dense backend is selected.
+_DENSE_THRESHOLD = 0.05
+
+
+def _normalize_pair(i: int, j: int) -> Pair:
+    if i == j:
+        raise ConfigurationError(f"an event cannot conflict with itself: {i}")
+    if i < 0 or j < 0:
+        raise ConfigurationError(f"event ids must be >= 0, got ({i}, {j})")
+    return (i, j) if i < j else (j, i)
+
+
+class BaseConflictGraph:
+    """Interface shared by both conflict-graph backends."""
+
+    num_events: int
+
+    def conflicts(self, i: int, j: int) -> bool:
+        """Whether events ``i`` and ``j`` conflict."""
+        raise NotImplementedError
+
+    def conflicts_with_any(self, event_id: int, others: Sequence[int]) -> bool:
+        """Whether ``event_id`` conflicts with any event in ``others``."""
+        raise NotImplementedError
+
+    def neighbors(self, event_id: int) -> FrozenSet[int]:
+        """All events conflicting with ``event_id``."""
+        raise NotImplementedError
+
+    def neighbor_mask(self, event_id: int) -> np.ndarray:
+        """Boolean mask over all events conflicting with ``event_id``."""
+        mask = np.zeros(self.num_events, dtype=bool)
+        for neighbor in self.neighbors(event_id):
+            mask[neighbor] = True
+        return mask
+
+    def pairs(self) -> Iterator[Pair]:
+        """Iterate all conflicting pairs ``(i, j)`` with ``i < j``."""
+        raise NotImplementedError
+
+    def num_pairs(self) -> int:
+        """``|CF|``."""
+        raise NotImplementedError
+
+    def is_independent(self, events: Sequence[int]) -> bool:
+        """Whether ``events`` is pairwise non-conflicting."""
+        events = list(events)
+        for idx, i in enumerate(events):
+            if self.conflicts_with_any(i, events[idx + 1 :]):
+                return False
+        return True
+
+    def conflict_ratio(self) -> float:
+        """``cr = |CF| / (|V| (|V|-1) / 2)`` (0 when |V| < 2)."""
+        total = self.num_events * (self.num_events - 1) // 2
+        return self.num_pairs() / total if total else 0.0
+
+    def _check_id(self, event_id: int) -> None:
+        if not 0 <= event_id < self.num_events:
+            raise ConfigurationError(
+                f"event id {event_id} outside 0..{self.num_events - 1}"
+            )
+
+
+class DenseConflictGraph(BaseConflictGraph):
+    """Boolean-matrix conflict graph; O(1) pair queries, O(|V|) masks."""
+
+    def __init__(self, num_events: int, pairs: Iterable[Pair] = ()) -> None:
+        if num_events < 1:
+            raise ConfigurationError(f"num_events must be >= 1, got {num_events}")
+        self.num_events = num_events
+        self._matrix = np.zeros((num_events, num_events), dtype=bool)
+        for i, j in pairs:
+            self.add(i, j)
+
+    def add(self, i: int, j: int) -> None:
+        i, j = _normalize_pair(i, j)
+        self._check_id(i)
+        self._check_id(j)
+        self._matrix[i, j] = True
+        self._matrix[j, i] = True
+
+    def conflicts(self, i: int, j: int) -> bool:
+        self._check_id(i)
+        self._check_id(j)
+        return bool(self._matrix[i, j])
+
+    def conflicts_with_any(self, event_id: int, others: Sequence[int]) -> bool:
+        self._check_id(event_id)
+        if not len(others):
+            return False
+        return bool(self._matrix[event_id, list(others)].any())
+
+    def conflict_mask(self, events: Sequence[int]) -> np.ndarray:
+        """Boolean mask of all events conflicting with any of ``events``."""
+        if not len(events):
+            return np.zeros(self.num_events, dtype=bool)
+        return self._matrix[list(events)].any(axis=0)
+
+    def neighbors(self, event_id: int) -> FrozenSet[int]:
+        self._check_id(event_id)
+        return frozenset(np.flatnonzero(self._matrix[event_id]).tolist())
+
+    def neighbor_mask(self, event_id: int) -> np.ndarray:
+        self._check_id(event_id)
+        return self._matrix[event_id].copy()
+
+    def pairs(self) -> Iterator[Pair]:
+        rows, cols = np.nonzero(np.triu(self._matrix, k=1))
+        return iter(list(zip(rows.tolist(), cols.tolist())))
+
+    def num_pairs(self) -> int:
+        return int(self._matrix.sum()) // 2
+
+
+class SparseConflictGraph(BaseConflictGraph):
+    """Adjacency-set conflict graph; memory proportional to ``|CF|``."""
+
+    def __init__(self, num_events: int, pairs: Iterable[Pair] = ()) -> None:
+        if num_events < 1:
+            raise ConfigurationError(f"num_events must be >= 1, got {num_events}")
+        self.num_events = num_events
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_events)]
+        self._num_pairs = 0
+        for i, j in pairs:
+            self.add(i, j)
+
+    def add(self, i: int, j: int) -> None:
+        i, j = _normalize_pair(i, j)
+        self._check_id(i)
+        self._check_id(j)
+        if j not in self._adjacency[i]:
+            self._adjacency[i].add(j)
+            self._adjacency[j].add(i)
+            self._num_pairs += 1
+
+    def conflicts(self, i: int, j: int) -> bool:
+        self._check_id(i)
+        self._check_id(j)
+        return j in self._adjacency[i]
+
+    def conflicts_with_any(self, event_id: int, others: Sequence[int]) -> bool:
+        self._check_id(event_id)
+        adjacent = self._adjacency[event_id]
+        return any(o in adjacent for o in others)
+
+    def conflict_mask(self, events: Sequence[int]) -> np.ndarray:
+        mask = np.zeros(self.num_events, dtype=bool)
+        for e in events:
+            self._check_id(e)
+            for neighbor in self._adjacency[e]:
+                mask[neighbor] = True
+        return mask
+
+    def neighbors(self, event_id: int) -> FrozenSet[int]:
+        self._check_id(event_id)
+        return frozenset(self._adjacency[event_id])
+
+    def pairs(self) -> Iterator[Pair]:
+        for i, adjacent in enumerate(self._adjacency):
+            for j in sorted(adjacent):
+                if i < j:
+                    yield (i, j)
+
+    def num_pairs(self) -> int:
+        return self._num_pairs
+
+
+def ConflictGraph(
+    num_events: int, pairs: Iterable[Pair] = (), dense: "bool | None" = None
+) -> BaseConflictGraph:
+    """Build a conflict graph, selecting a backend by density.
+
+    ``dense=None`` picks :class:`DenseConflictGraph` when the pair count
+    exceeds ``_DENSE_THRESHOLD`` of all possible pairs (or when |V| is
+    small enough that the matrix is cheap anyway).
+    """
+    pair_list = [(int(i), int(j)) for i, j in pairs]
+    if dense is None:
+        total = max(num_events * (num_events - 1) // 2, 1)
+        dense = num_events <= 2048 or len(pair_list) / total > _DENSE_THRESHOLD
+    backend = DenseConflictGraph if dense else SparseConflictGraph
+    return backend(num_events, pair_list)
+
+
+def random_conflicts(
+    num_events: int, conflict_ratio: float, seed: RngLike = None
+) -> List[Pair]:
+    """Sample ``round(cr * |V| (|V|-1) / 2)`` distinct conflicting pairs.
+
+    Matches Table 4 of the paper where ``cr`` ranges over
+    {0, 0.25, 0.5, 0.75, 1}.
+    """
+    if not 0.0 <= conflict_ratio <= 1.0:
+        raise ConfigurationError(f"conflict_ratio must be in [0, 1], got {conflict_ratio}")
+    if num_events < 1:
+        raise ConfigurationError(f"num_events must be >= 1, got {num_events}")
+    total = num_events * (num_events - 1) // 2
+    target = int(round(conflict_ratio * total))
+    if target == 0:
+        return []
+    rng = make_rng(seed)
+    chosen = rng.choice(total, size=target, replace=False)
+    # Unrank each flat index into the (i, j) pair with i < j.
+    pairs: List[Pair] = []
+    # Row i (0-based) owns indices [offset_i, offset_i + (|V|-1-i)).
+    offsets = np.cumsum([0] + [num_events - 1 - i for i in range(num_events - 1)])
+    rows = np.searchsorted(offsets, chosen, side="right") - 1
+    cols = chosen - offsets[rows] + rows + 1
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        pairs.append((int(i), int(j)))
+    return pairs

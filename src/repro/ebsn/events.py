@@ -1,0 +1,164 @@
+"""Event records and the capacity-tracking event store.
+
+Events are identified by dense integer ids ``0 .. |V|-1`` so policies
+can use numpy arrays indexed by event id throughout; richer metadata
+(title, category, venue) is optional and only populated by the
+Damai/Meetup dataset generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import CapacityError, ConfigurationError, UnknownEventError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single event in the catalogue.
+
+    Attributes
+    ----------
+    event_id:
+        Dense integer id in ``0 .. |V|-1``.
+    capacity:
+        Maximum number of attendees ``c_v`` (may be ``math.inf`` for the
+        basic-contextual-bandit setting where capacities are ignored).
+    title, category, subcategory:
+        Optional human-readable metadata (used by the Damai dataset).
+    tags:
+        Tag strings used by the OnlineGreedy-GEACC baseline.
+    attributes:
+        Free-form metadata (price band, venue, day of week, ...).
+    """
+
+    event_id: int
+    capacity: float
+    title: str = ""
+    category: str = ""
+    subcategory: str = ""
+    tags: Sequence[str] = field(default_factory=tuple)
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.event_id < 0:
+            raise ConfigurationError(f"event_id must be >= 0, got {self.event_id}")
+        if not (self.capacity >= 0):
+            raise ConfigurationError(
+                f"capacity must be non-negative, got {self.capacity}"
+            )
+
+
+class EventStore:
+    """The event catalogue with per-event remaining-capacity accounting.
+
+    The store is the single source of truth for which events are still
+    available (``c_v > 0``); the simulation decrements capacities only
+    for *accepted* events, matching line 12 of Algorithms 1/3/4.
+    """
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._events: List[Event] = sorted(events, key=lambda e: e.event_id)
+        if not self._events:
+            raise ConfigurationError("an EventStore needs at least one event")
+        ids = [e.event_id for e in self._events]
+        if ids != list(range(len(ids))):
+            raise ConfigurationError(
+                "event ids must be the dense range 0..|V|-1, got " + repr(ids[:10])
+            )
+        self._initial_capacity = np.array(
+            [e.capacity for e in self._events], dtype=float
+        )
+        self._remaining = self._initial_capacity.copy()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_capacities(cls, capacities: Sequence[float]) -> "EventStore":
+        """Build a bare store (no metadata) from a capacity sequence."""
+        return cls(Event(i, float(c)) for i, c in enumerate(capacities))
+
+    @classmethod
+    def with_unlimited_capacity(cls, num_events: int) -> "EventStore":
+        """Build a store where no event ever fills up (basic bandit mode)."""
+        return cls(Event(i, math.inf) for i in range(num_events))
+
+    # ------------------------------------------------------------------
+    # Catalogue access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, event_id: int) -> Event:
+        self._check_id(event_id)
+        return self._events[event_id]
+
+    def _check_id(self, event_id: int) -> None:
+        if not 0 <= event_id < len(self._events):
+            raise UnknownEventError(event_id)
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def remaining_capacities(self) -> np.ndarray:
+        """Remaining capacity per event id (copy)."""
+        return self._remaining.copy()
+
+    @property
+    def initial_capacities(self) -> np.ndarray:
+        """Initial capacity per event id (copy)."""
+        return self._initial_capacity.copy()
+
+    def remaining(self, event_id: int) -> float:
+        """Remaining capacity of one event."""
+        self._check_id(event_id)
+        return float(self._remaining[event_id])
+
+    def is_available(self, event_id: int) -> bool:
+        """Whether the event can still take at least one attendee."""
+        self._check_id(event_id)
+        return bool(self._remaining[event_id] > 0)
+
+    def available_mask(self) -> np.ndarray:
+        """Boolean mask over event ids with remaining capacity > 0."""
+        return self._remaining > 0
+
+    def num_available(self) -> int:
+        """How many events still have free capacity."""
+        return int(np.count_nonzero(self._remaining > 0))
+
+    def register(self, event_id: int) -> None:
+        """Consume one capacity slot of ``event_id`` (an accepted event)."""
+        self._check_id(event_id)
+        if self._remaining[event_id] <= 0:
+            raise CapacityError(f"event {event_id} is already full")
+        if math.isfinite(self._remaining[event_id]):
+            self._remaining[event_id] -= 1
+
+    def release(self, event_id: int) -> None:
+        """Return one capacity slot (used only by tests and what-if tools)."""
+        self._check_id(event_id)
+        if self._remaining[event_id] >= self._initial_capacity[event_id]:
+            raise CapacityError(f"event {event_id} has no registration to release")
+        if math.isfinite(self._remaining[event_id]):
+            self._remaining[event_id] += 1
+
+    def reset(self) -> None:
+        """Restore all capacities to their initial values."""
+        self._remaining = self._initial_capacity.copy()
+
+    def total_remaining(self) -> float:
+        """Sum of remaining capacities (``inf`` if any event is unlimited)."""
+        return float(self._remaining.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventStore(|V|={len(self)}, available={self.num_available()})"

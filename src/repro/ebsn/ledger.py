@@ -1,0 +1,108 @@
+"""Append-only registration ledger.
+
+Every committed arrangement is recorded as a :class:`LedgerEntry`:
+which user, which events, and which of those events the user accepted.
+The ledger is the platform's audit trail — metrics (total rewards,
+accept ratios) are *derived* from it rather than accumulated ad hoc, so
+a simulation can always be reconciled after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import LedgerError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One committed arrangement and its feedback."""
+
+    time_step: int
+    user_id: int
+    arranged: Tuple[int, ...]
+    accepted: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        arranged = set(self.arranged)
+        if len(arranged) != len(self.arranged):
+            raise LedgerError(f"duplicate events arranged at t={self.time_step}")
+        if not set(self.accepted) <= arranged:
+            raise LedgerError(
+                f"accepted events not a subset of arranged at t={self.time_step}"
+            )
+
+    @property
+    def reward(self) -> int:
+        """``r_{t,A_t}`` — the number of accepted events (Equation 1)."""
+        return len(self.accepted)
+
+    @property
+    def num_arranged(self) -> int:
+        return len(self.arranged)
+
+
+class RegistrationLedger:
+    """Append-only log of arrangements, keyed by strictly increasing ``t``."""
+
+    def __init__(self) -> None:
+        self._entries: List[LedgerEntry] = []
+
+    def record(
+        self,
+        time_step: int,
+        user_id: int,
+        arranged: Sequence[int],
+        accepted: Sequence[int],
+    ) -> LedgerEntry:
+        """Append one entry; time steps must be strictly increasing."""
+        if self._entries and time_step <= self._entries[-1].time_step:
+            raise LedgerError(
+                f"time step {time_step} not after {self._entries[-1].time_step}"
+            )
+        entry = LedgerEntry(
+            time_step=time_step,
+            user_id=user_id,
+            arranged=tuple(int(e) for e in arranged),
+            accepted=tuple(int(e) for e in accepted),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> LedgerEntry:
+        return self._entries[index]
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def total_reward(self) -> int:
+        """Total accepted events over all rounds: ``sum_t r_{t,A_t}``."""
+        return sum(entry.reward for entry in self._entries)
+
+    def total_arranged(self) -> int:
+        """Total events arranged over all rounds."""
+        return sum(entry.num_arranged for entry in self._entries)
+
+    def overall_accept_ratio(self) -> float:
+        """Accepted / arranged over the whole log (0 when nothing arranged)."""
+        arranged = self.total_arranged()
+        return self.total_reward() / arranged if arranged else 0.0
+
+    def registrations_per_event(self) -> Dict[int, int]:
+        """How many accepted registrations each event received."""
+        counts: Dict[int, int] = {}
+        for entry in self._entries:
+            for event_id in entry.accepted:
+                counts[event_id] = counts.get(event_id, 0) + 1
+        return counts
+
+    def rewards_by_step(self) -> List[int]:
+        """Per-entry rewards in time order."""
+        return [entry.reward for entry in self._entries]

@@ -1,0 +1,103 @@
+"""The platform façade: validates and commits arrangements.
+
+:class:`Platform` ties the event store, conflict graph and registration
+ledger together and enforces the three constraints of Definition 3:
+
+1. irrevocability — each time step is committed exactly once, in order;
+2. capacities — neither ``c_v`` nor ``c_u`` is exceeded;
+3. non-conflict — arranged events are pairwise non-conflicting.
+
+Policies never mutate the store directly; they propose an arrangement
+and the platform validates it, collects the user's feedback, decrements
+capacities of *accepted* events, and records everything in the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.ebsn.conflicts import BaseConflictGraph
+from repro.ebsn.events import EventStore
+from repro.ebsn.ledger import LedgerEntry, RegistrationLedger
+from repro.ebsn.users import User
+from repro.exceptions import CapacityError, ConflictError
+
+
+class Platform:
+    """An EBSN platform instance for one simulation run."""
+
+    def __init__(self, store: EventStore, conflicts: BaseConflictGraph) -> None:
+        if len(store) != conflicts.num_events:
+            raise ConflictError(
+                f"store has {len(store)} events but conflict graph covers "
+                f"{conflicts.num_events}"
+            )
+        self.store = store
+        self.conflicts = conflicts
+        self.ledger = RegistrationLedger()
+        self._time_step = 0
+
+    @property
+    def time_step(self) -> int:
+        """The next time step to be committed (1-based after first commit)."""
+        return self._time_step
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_arrangement(self, user: User, arranged: Sequence[int]) -> None:
+        """Raise if ``arranged`` violates any Definition-3 constraint."""
+        arranged = list(arranged)
+        if len(set(arranged)) != len(arranged):
+            raise ConflictError(f"duplicate events in arrangement {arranged}")
+        if len(arranged) > user.capacity:
+            raise CapacityError(
+                f"arranged {len(arranged)} events but user capacity is "
+                f"{user.capacity}"
+            )
+        for event_id in arranged:
+            if not self.store.is_available(event_id):
+                raise CapacityError(f"event {event_id} has no remaining capacity")
+        if not self.conflicts.is_independent(arranged):
+            raise ConflictError(f"arrangement {arranged} contains a conflict")
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        user: User,
+        arranged: Sequence[int],
+        feedback: Callable[[int], bool],
+    ) -> LedgerEntry:
+        """Validate, collect feedback, update capacities, and log.
+
+        ``feedback(event_id)`` returns whether the user accepts that
+        event; it is queried once per arranged event.  Accepted events
+        consume one capacity slot (line 12 of Algorithms 1/3/4).
+        """
+        self.validate_arrangement(user, arranged)
+        self._time_step += 1
+        accepted: Tuple[int, ...] = tuple(
+            event_id for event_id in arranged if feedback(event_id)
+        )
+        for event_id in accepted:
+            self.store.register(event_id)
+        return self.ledger.record(
+            time_step=self._time_step,
+            user_id=user.user_id,
+            arranged=tuple(arranged),
+            accepted=accepted,
+        )
+
+    def reset(self) -> None:
+        """Restore capacities and start a fresh ledger."""
+        self.store.reset()
+        self.ledger = RegistrationLedger()
+        self._time_step = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Platform(|V|={len(self.store)}, cr={self.conflicts.conflict_ratio():.3f}, "
+            f"t={self._time_step})"
+        )

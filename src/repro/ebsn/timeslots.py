@@ -1,0 +1,79 @@
+"""Time slots and overlap — the source of conflicting event pairs.
+
+The paper derives its real-dataset conflict set from events' time and
+location: "a concert at 2016.10.21 7:30 pm is conflicting with another
+one at 2016.10.21 7:00 pm".  :class:`TimeSlot` models a (day, start,
+duration) interval; :func:`conflicts_from_slots` turns a catalogue of
+slots into the pair list a conflict graph consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Weekday names for day indices modulo 7 (0 = Monday).
+WEEKDAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+@dataclass(frozen=True)
+class TimeSlot:
+    """A scheduled interval: calendar day index plus start/duration hours."""
+
+    day_index: int
+    start_hour: float
+    duration_hours: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.day_index < 0:
+            raise ConfigurationError(f"day_index must be >= 0, got {self.day_index}")
+        if not 0.0 <= self.start_hour < 24.0:
+            raise ConfigurationError(
+                f"start_hour must be in [0, 24), got {self.start_hour}"
+            )
+        if self.duration_hours <= 0:
+            raise ConfigurationError(
+                f"duration_hours must be > 0, got {self.duration_hours}"
+            )
+
+    @property
+    def end_hour(self) -> float:
+        return self.start_hour + self.duration_hours
+
+    @property
+    def weekday(self) -> str:
+        """Weekday name of the slot's day."""
+        return WEEKDAYS[self.day_index % 7]
+
+    def overlaps(self, other: "TimeSlot") -> bool:
+        """Two slots clash iff same day and open intervals intersect.
+
+        Back-to-back slots (one ends exactly when the other starts) do
+        *not* overlap — a user can attend both.
+        """
+        if self.day_index != other.day_index:
+            return False
+        return (
+            self.start_hour < other.end_hour
+            and other.start_hour < self.end_hour
+        )
+
+
+def conflicts_from_slots(slots: Sequence[TimeSlot]) -> List[Tuple[int, int]]:
+    """All index pairs (i < j) whose slots overlap.
+
+    Slots are first bucketed by day, so the pairwise check runs per day
+    rather than over the full quadratic pair set.
+    """
+    by_day: dict = {}
+    for index, slot in enumerate(slots):
+        by_day.setdefault(slot.day_index, []).append(index)
+    pairs: List[Tuple[int, int]] = []
+    for indices in by_day.values():
+        for position, i in enumerate(indices):
+            for j in indices[position + 1 :]:
+                if slots[i].overlaps(slots[j]):
+                    pairs.append((i, j) if i < j else (j, i))
+    return sorted(pairs)

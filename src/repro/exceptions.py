@@ -1,0 +1,37 @@
+"""Exception hierarchy for the FASEA reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime constraint
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, dataset or policy was configured with invalid values."""
+
+
+class CapacityError(ReproError):
+    """An arrangement would exceed an event or user capacity."""
+
+
+class ConflictError(ReproError):
+    """An arrangement contains a conflicting event pair."""
+
+
+class UnknownEventError(ReproError, KeyError):
+    """An event id was referenced that the platform does not know about."""
+
+
+class LedgerError(ReproError):
+    """The registration ledger was used inconsistently (e.g. duplicate commit)."""
+
+
+class NotFittedError(ReproError):
+    """A model was queried before observing any data it requires."""

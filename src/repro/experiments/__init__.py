@@ -1,0 +1,26 @@
+"""Experiment harness: one registered runner per paper table/figure.
+
+``EXPERIMENTS`` maps experiment ids (``fig1`` ... ``fig13``, ``tab5``
+... ``tab7``) to callables; each returns an
+:class:`~repro.experiments.reporting.ExperimentResult` that the
+reporting module renders as text and CSV.  The CLI (``python -m repro``
+or the ``fasea`` script) drives this registry.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.reporting import (
+    ExperimentResult,
+    TableBlock,
+    render_result,
+    save_result,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "TableBlock",
+    "get_experiment",
+    "list_experiments",
+    "render_result",
+    "save_result",
+]

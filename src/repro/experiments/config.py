@@ -1,0 +1,140 @@
+"""Shared experiment configuration and run helpers.
+
+Every figure/table runner builds on :func:`compare_policies`, which
+plays OPT plus the paper's five online policies on one world with
+common random numbers and returns their histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bandits import POLICY_NAMES, OptPolicy, make_policy
+from repro.datasets.synthetic import SyntheticConfig, SyntheticWorld, build_world
+from repro.exceptions import ConfigurationError
+from repro.simulation.history import History, default_checkpoints
+from repro.simulation.runner import run_policy
+
+#: Algorithm-parameter defaults (bold in Table 4).
+DEFAULT_LAM = 1.0
+DEFAULT_ALPHA = 2.0
+DEFAULT_DELTA = 0.1
+DEFAULT_EPSILON = 0.1
+
+SCALES = ("scaled", "paper")
+
+
+def base_config(scale: str = "scaled", seed: int = 0, **overrides) -> SyntheticConfig:
+    """Table 4 defaults at the requested scale (see DESIGN.md)."""
+    if scale == "scaled":
+        return SyntheticConfig.scaled_default(seed=seed, **overrides)
+    if scale == "paper":
+        return SyntheticConfig.paper_default(seed=seed, **overrides)
+    raise ConfigurationError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def scaled_num_events(scale: str, paper_value: int) -> int:
+    """Map a paper |V| value to the current scale (500 -> 100, etc.)."""
+    return paper_value if scale == "paper" else max(paper_value // 5, 2)
+
+
+def scaled_capacity(scale: str, mean: float, std: float) -> Tuple[float, float]:
+    """Map a paper c_v distribution to the current scale (x 0.45)."""
+    if scale == "paper":
+        return mean, std
+    return mean * 0.45, std * 0.45
+
+
+@dataclass
+class SuiteResult:
+    """Histories of OPT plus the online policies on one world."""
+
+    world: SyntheticWorld
+    horizon: int
+    checkpoints: List[int]
+    opt: History
+    policies: Dict[str, History]
+
+    def all_histories(self) -> Dict[str, History]:
+        out = dict(self.policies)
+        out["OPT"] = self.opt
+        return out
+
+
+def compare_policies(
+    config: SyntheticConfig,
+    horizon: Optional[int] = None,
+    run_seed: int = 0,
+    policy_seed: int = 1,
+    policy_names: Sequence[str] = POLICY_NAMES,
+    lam: float = DEFAULT_LAM,
+    alpha: float = DEFAULT_ALPHA,
+    delta: float = DEFAULT_DELTA,
+    epsilon: float = DEFAULT_EPSILON,
+    track_kendall: bool = False,
+) -> SuiteResult:
+    """Run OPT and each named policy on one common-random-numbers world.
+
+    Uses the fleet runner (one shared stream for all policies), which is
+    bit-for-bit equivalent to individual ``run_policy`` calls with the
+    same ``run_seed`` but generates contexts only once per round.
+    """
+    from repro.simulation.fleet import run_policy_fleet
+
+    world = build_world(config)
+    horizon = horizon if horizon is not None else config.horizon
+    checkpoints = default_checkpoints(horizon)
+    fleet: Dict[str, object] = {"OPT": OptPolicy(world.theta)}
+    for name in policy_names:
+        fleet[name] = make_policy(
+            name,
+            dim=config.dim,
+            lam=lam,
+            alpha=alpha,
+            delta=delta,
+            epsilon=epsilon,
+            seed=policy_seed,
+        )
+    results = run_policy_fleet(
+        fleet,
+        world,
+        horizon=horizon,
+        run_seed=run_seed,
+        track_kendall=track_kendall,
+        kendall_checkpoints=checkpoints if track_kendall else None,
+    )
+    opt_history = results.pop("OPT")
+    histories: Dict[str, History] = {name: results[name] for name in policy_names}
+    return SuiteResult(
+        world=world,
+        horizon=horizon,
+        checkpoints=checkpoints,
+        opt=opt_history,
+        policies=histories,
+    )
+
+
+def metric_curves(suite: SuiteResult) -> Dict[str, Dict[str, List[float]]]:
+    """The paper's four metric families over the checkpoint grid."""
+    checkpoints = suite.checkpoints
+    curves: Dict[str, Dict[str, List[float]]] = {
+        "accept_ratio": {},
+        "total_rewards": {},
+        "total_regrets": {},
+        "regret_ratio": {},
+    }
+    for name, history in suite.all_histories().items():
+        curves["accept_ratio"][name] = history.accept_ratio_at(checkpoints).tolist()
+        curves["total_rewards"][name] = history.rewards_at(checkpoints).tolist()
+        if name != "OPT":
+            curves["total_regrets"][name] = history.regret_at(
+                suite.opt, checkpoints
+            ).tolist()
+            ratio = history.regret_ratio_at(suite.opt, checkpoints)
+            curves["regret_ratio"][name] = np.where(
+                np.isfinite(ratio), ratio, np.nan
+            ).tolist()
+    return curves

@@ -1,0 +1,138 @@
+"""Drift checking between two results directories.
+
+Reproduction hygiene: after a refactor (or on another machine), re-run
+``fasea run all`` into a fresh directory and *diff it against the
+committed one*.  ``compare_results_dirs`` walks the experiment CSVs of
+two directories, aligns curves by (experiment, metric, series label,
+step), and reports every value whose relative deviation exceeds a
+tolerance — so "the refactor changed nothing" becomes a checkable
+statement rather than a hope.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One value that moved between two result sets."""
+
+    experiment: str
+    file: str
+    column: str
+    step: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return math.inf if self.candidate != 0 else 0.0
+        return abs(self.candidate - self.baseline) / abs(self.baseline)
+
+
+def _load_csv(path: Path) -> Dict[Tuple[str, str], float]:
+    """Map (first-column value, column name) -> float value."""
+    out: Dict[Tuple[str, str], float] = {}
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header:
+            return out
+        for row in reader:
+            key = row[0]
+            for column, cell in zip(header[1:], row[1:]):
+                try:
+                    out[(key, column)] = float(cell)
+                except ValueError:
+                    continue  # non-numeric cells (names, tags) are skipped
+    return out
+
+
+def compare_results_dirs(
+    baseline_dir: PathLike,
+    candidate_dir: PathLike,
+    tolerance: float = 1e-9,
+) -> Tuple[List[Drift], List[str]]:
+    """(drifts, problems) between two ``fasea run`` output directories.
+
+    ``drifts`` lists aligned values deviating more than ``tolerance``
+    (relative); ``problems`` lists structural mismatches — experiments
+    or files present on one side only, or rows/columns that do not
+    align.  Timing/memory tables (``table_avg_time*``, ``*memory*``)
+    are skipped: wall-clock numbers legitimately differ across runs.
+    """
+    baseline_dir = Path(baseline_dir)
+    candidate_dir = Path(candidate_dir)
+    if not baseline_dir.is_dir():
+        raise ConfigurationError(f"no baseline directory at {baseline_dir}")
+    if not candidate_dir.is_dir():
+        raise ConfigurationError(f"no candidate directory at {candidate_dir}")
+
+    drifts: List[Drift] = []
+    problems: List[str] = []
+    baseline_experiments = {p.name for p in baseline_dir.iterdir() if p.is_dir()}
+    candidate_experiments = {p.name for p in candidate_dir.iterdir() if p.is_dir()}
+    for missing in sorted(baseline_experiments - candidate_experiments):
+        problems.append(f"experiment {missing} missing from candidate")
+    for extra in sorted(candidate_experiments - baseline_experiments):
+        problems.append(f"experiment {extra} only in candidate")
+
+    for experiment in sorted(baseline_experiments & candidate_experiments):
+        base_files = {
+            p.name for p in (baseline_dir / experiment).glob("*.csv")
+        }
+        cand_files = {
+            p.name for p in (candidate_dir / experiment).glob("*.csv")
+        }
+        for missing in sorted(base_files - cand_files):
+            problems.append(f"{experiment}/{missing} missing from candidate")
+        for name in sorted(base_files & cand_files):
+            if "avg_time" in name or "memory" in name:
+                continue
+            base_values = _load_csv(baseline_dir / experiment / name)
+            cand_values = _load_csv(candidate_dir / experiment / name)
+            for key in sorted(base_values.keys() - cand_values.keys()):
+                problems.append(f"{experiment}/{name}: {key} missing from candidate")
+            for key in sorted(base_values.keys() & cand_values.keys()):
+                baseline_value = base_values[key]
+                candidate_value = cand_values[key]
+                drift = Drift(
+                    experiment=experiment,
+                    file=name,
+                    column=key[1],
+                    step=key[0],
+                    baseline=baseline_value,
+                    candidate=candidate_value,
+                )
+                if drift.relative_change > tolerance:
+                    drifts.append(drift)
+    return drifts, problems
+
+
+def summarize_drift(drifts: List[Drift], problems: List[str], limit: int = 10) -> str:
+    """Human-readable drift report."""
+    lines: List[str] = []
+    if not drifts and not problems:
+        return "results identical (within tolerance)\n"
+    for problem in problems:
+        lines.append(f"STRUCTURE: {problem}")
+    worst = sorted(drifts, key=lambda d: d.relative_change, reverse=True)
+    for drift in worst[:limit]:
+        lines.append(
+            f"DRIFT: {drift.experiment}/{drift.file} [{drift.column} @ "
+            f"{drift.step}] {drift.baseline:g} -> {drift.candidate:g} "
+            f"({drift.relative_change:.2%})"
+        )
+    if len(drifts) > limit:
+        lines.append(f"... and {len(drifts) - limit} more drifted values")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,176 @@
+"""Extra experiments beyond the paper's own figures.
+
+* ``mab`` — the Chapelle & Li [9] contrast: cumulative regret of the
+  classic algorithms on a basic Bernoulli bandit, where TS *wins*.
+  Running this next to fig1 exhibits the paper's central tension in one
+  results directory.
+* ``ext`` — the Remark 1 / Remark 2 extensions: per-user models vs one
+  shared model on a roster of users with opposed tastes, and rotating
+  event sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bandits import RandomPolicy, RoundView, UcbPolicy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.ebsn.platform import Platform
+from repro.ebsn.users import User
+from repro.experiments.reporting import ExperimentResult, TableBlock
+from repro.extensions import (
+    DynamicEventSchedule,
+    PerUserPolicyPool,
+    run_dynamic_policy,
+)
+from repro.linalg.sampling import make_rng
+from repro.mab import (
+    BetaThompsonSampling,
+    EpsilonGreedyMab,
+    RandomMab,
+    Ucb1,
+    run_mab,
+)
+from repro.mab.arms import random_arms
+
+
+def mab_experiment(
+    scale: str = "scaled",
+    seed: int = 0,
+    horizon: Optional[int] = None,
+    num_arms: int = 10,
+) -> ExperimentResult:
+    """Basic Bernoulli bandit: the world where TS wins (premise [9])."""
+    horizon = horizon if horizon is not None else 10_000
+    arms = random_arms(num_arms, seed=seed)
+    checkpoints = [
+        t for t in range(max(horizon // 20, 1), horizon + 1, max(horizon // 20, 1))
+    ]
+    algorithms = {
+        "UCB1": Ucb1(num_arms),
+        "TS-Beta": BetaThompsonSampling(num_arms, seed=seed),
+        "eGreedy-MAB": EpsilonGreedyMab(num_arms, epsilon=0.1, seed=seed),
+        "Random-MAB": RandomMab(num_arms, seed=seed),
+    }
+    curves: Dict[str, Dict[str, List[float]]] = {"cumulative_regret": {}}
+    for name, algorithm in algorithms.items():
+        history = run_mab(algorithm, arms, horizon, seed=seed + 1)
+        regret = history.cumulative_regret()
+        curves["cumulative_regret"][name] = [
+            float(regret[t - 1]) for t in checkpoints
+        ]
+    return ExperimentResult(
+        experiment_id="mab",
+        title="Basic multi-armed bandit (the [9] contrast)",
+        params={
+            "num_arms": num_arms,
+            "horizon": horizon,
+            "best_mean": round(max(a.mean for a in arms), 3),
+            "seed": seed,
+        },
+        checkpoints=checkpoints,
+        curves=curves,
+        notes=(
+            "With independent arms TS-Beta's regret is the lowest — the "
+            "opposite of its FASEA ranking (fig1). The coupling through a "
+            "shared theta is what flips the ordering."
+        ),
+    )
+
+
+def _roster_accept_ratio(policy, world, thetas, horizon: int) -> float:
+    """Play a 3-user roster with opposed tastes against one policy."""
+    platform = Platform(world.make_store(), world.conflicts)
+    sampler = world.make_context_sampler()
+    rng = make_rng(1234)
+    accepted = arranged = 0
+    for t in range(1, horizon + 1):
+        user = User(user_id=(t - 1) % len(thetas), capacity=3)
+        contexts = sampler.sample(rng)
+        view = RoundView(
+            time_step=t,
+            user=user,
+            contexts=contexts,
+            remaining_capacities=platform.store.remaining_capacities,
+            conflicts=platform.conflicts,
+        )
+        arrangement = policy.select(view)
+        probabilities = np.clip(contexts @ thetas[user.user_id], 0.0, 1.0)
+        thresholds = rng.uniform(size=contexts.shape[0])
+        entry = platform.commit(
+            user,
+            arrangement,
+            feedback=lambda e: bool(thresholds[e] < probabilities[e]),
+        )
+        policy.observe(
+            view,
+            arrangement,
+            [1.0 if e in set(entry.accepted) else 0.0 for e in arrangement],
+        )
+        accepted += entry.reward
+        arranged += len(arrangement)
+    return accepted / arranged if arranged else 0.0
+
+
+def extensions_experiment(
+    scale: str = "scaled",
+    seed: int = 3,
+    horizon: Optional[int] = None,
+) -> ExperimentResult:
+    """Remark 1 (per-user theta) and Remark 2 (dynamic event sets)."""
+    horizon = horizon if horizon is not None else 3000
+    config = SyntheticConfig.scaled_default(seed=seed, dim=8)
+    world = build_world(config)
+    thetas = [world.theta, -world.theta, np.roll(world.theta, 3)]
+
+    shared_ratio = _roster_accept_ratio(
+        UcbPolicy(dim=config.dim), world, thetas, horizon
+    )
+    pooled_ratio = _roster_accept_ratio(
+        PerUserPolicyPool(lambda user_id: UcbPolicy(dim=config.dim)),
+        world,
+        thetas,
+        horizon,
+    )
+
+    schedule = DynamicEventSchedule.round_robin(
+        num_events=config.num_events, num_phases=2, phase_length=50
+    )
+    dynamic_rows = []
+    for name, policy in [
+        ("UCB", UcbPolicy(dim=config.dim)),
+        ("Random", RandomPolicy(seed=4)),
+    ]:
+        history = run_dynamic_policy(
+            policy, world, schedule, horizon=horizon, run_seed=0
+        )
+        dynamic_rows.append(
+            [name, history.overall_accept_ratio, history.total_reward]
+        )
+
+    return ExperimentResult(
+        experiment_id="ext",
+        title="Paper Remarks 1-2: per-user models and dynamic event sets",
+        params={"horizon": horizon, "seed": seed, "dim": config.dim},
+        tables=[
+            TableBlock(
+                "Remark 1: 3 opposed users",
+                ["model", "accept_ratio"],
+                [
+                    ["shared UCB", shared_ratio],
+                    ["per-user UCB pool", pooled_ratio],
+                ],
+            ),
+            TableBlock(
+                "Remark 2: rotating event sets (2 phases)",
+                ["policy", "accept_ratio", "total_reward"],
+                dynamic_rows,
+            ),
+        ],
+        notes=(
+            "Per-user models dominate when tastes genuinely differ; the "
+            "dynamic schedule leaves the learning machinery untouched."
+        ),
+    )

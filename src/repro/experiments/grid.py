@@ -1,0 +1,97 @@
+"""Parameter-grid sweeps over synthetic configurations.
+
+Figures 3-9 are all one-factor sweeps; this module offers the general
+tool: declare a grid of config overrides, run the policy suite on every
+cell, and collect scalar outcomes into a tidy list of records (ready
+for a :class:`~repro.io.runstore.RunStore`, CSV, or ad-hoc analysis).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bandits import POLICY_NAMES, OptPolicy, make_policy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.exceptions import ConfigurationError
+from repro.simulation.runner import run_policy
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: the overrides applied and the per-policy outcomes."""
+
+    overrides: Tuple[Tuple[str, object], ...]
+    accept_ratios: Dict[str, float]
+    total_regrets: Dict[str, float]
+
+    def override_dict(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+
+def expand_grid(axes: Dict[str, Sequence[object]]) -> List[Dict[str, object]]:
+    """Cartesian product of named value axes, in insertion order.
+
+    ``expand_grid({"dim": [1, 5], "conflict_ratio": [0, 1]})`` yields
+    four override dicts.
+    """
+    if not axes:
+        raise ConfigurationError("need at least one axis")
+    for name, values in axes.items():
+        if not values:
+            raise ConfigurationError(f"axis {name!r} has no values")
+    names = list(axes)
+    return [
+        dict(zip(names, combination))
+        for combination in itertools.product(*axes.values())
+    ]
+
+
+def sweep(
+    base: SyntheticConfig,
+    axes: Dict[str, Sequence[object]],
+    horizon: Optional[int] = None,
+    policy_names: Sequence[str] = POLICY_NAMES,
+    run_seed: int = 0,
+    policy_seed: int = 1,
+) -> List[SweepCell]:
+    """Run the policy suite on every cell of the grid.
+
+    Each cell shares the run seed, so differences between cells reflect
+    the swept parameters plus world regeneration, not stream luck.
+    """
+    cells: List[SweepCell] = []
+    horizon_default = horizon if horizon is not None else base.horizon
+    for overrides in expand_grid(axes):
+        config = base.with_overrides(**overrides)
+        world = build_world(config)
+        cell_horizon = min(horizon_default, config.horizon)
+        opt_history = run_policy(
+            OptPolicy(world.theta), world, horizon=cell_horizon, run_seed=run_seed
+        )
+        accept = {"OPT": opt_history.overall_accept_ratio}
+        regrets: Dict[str, float] = {}
+        for name in policy_names:
+            policy = make_policy(name, dim=config.dim, seed=policy_seed)
+            history = run_policy(
+                policy, world, horizon=cell_horizon, run_seed=run_seed
+            )
+            accept[name] = history.overall_accept_ratio
+            regrets[name] = opt_history.total_reward - history.total_reward
+        cells.append(
+            SweepCell(
+                overrides=tuple(sorted(overrides.items())),
+                accept_ratios=accept,
+                total_regrets=regrets,
+            )
+        )
+    return cells
+
+
+def best_policy_per_cell(cells: Sequence[SweepCell]) -> Dict[Tuple, str]:
+    """The learner with the lowest regret in each cell (OPT excluded)."""
+    return {
+        cell.overrides: min(cell.total_regrets, key=cell.total_regrets.get)
+        for cell in cells
+    }

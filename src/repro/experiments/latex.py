@@ -1,0 +1,121 @@
+"""LaTeX rendering of experiment results.
+
+A reproduction's tables often end up back in a paper or report;
+``latex_table`` renders a :class:`~repro.experiments.reporting.TableBlock`
+as a ``booktabs``-style tabular, and ``latex_result`` renders a whole
+:class:`~repro.experiments.reporting.ExperimentResult` (tables plus a
+checkpoint-subsampled tabular per curve family).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import ExperimentResult, TableBlock, _subsample
+
+#: Characters needing escapes in LaTeX text cells.
+_ESCAPES = {
+    "&": r"\&",
+    "%": r"\%",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "$": r"\$",
+}
+
+
+def escape_latex(text: str) -> str:
+    """Escape LaTeX special characters in a text cell."""
+    out = []
+    for char in str(text):
+        out.append(_ESCAPES.get(char, char))
+    return "".join(out)
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return escape_latex(str(value))
+
+
+def latex_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """A booktabs tabular (wrapped in a table environment when captioned)."""
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    column_spec = "l" + "r" * (len(headers) - 1)
+    lines: List[str] = []
+    wrapped = bool(caption or label)
+    if wrapped:
+        lines.append(r"\begin{table}[t]")
+        lines.append(r"\centering")
+    lines.append(rf"\begin{{tabular}}{{{column_spec}}}")
+    lines.append(r"\toprule")
+    lines.append(" & ".join(escape_latex(h) for h in headers) + r" \\")
+    lines.append(r"\midrule")
+    for row in rows:
+        lines.append(" & ".join(_format_cell(v) for v in row) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    if caption:
+        lines.append(rf"\caption{{{escape_latex(caption)}}}")
+    if label:
+        lines.append(rf"\label{{{label}}}")
+    if wrapped:
+        lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def latex_result(result: ExperimentResult, max_curve_rows: int = 10) -> str:
+    """Render every table and curve family of a result as LaTeX."""
+    parts: List[str] = [f"% {result.experiment_id}: {result.title}"]
+    for table in result.tables:
+        parts.append(
+            latex_table(
+                table.headers,
+                table.rows,
+                caption=f"{result.title} — {table.title}",
+                label=f"tab:{result.experiment_id}-{_slug(table.title)}",
+            )
+        )
+    for metric, series in result.curves.items():
+        if result.checkpoints is None:
+            raise ConfigurationError(
+                f"curves present but no checkpoints in {result.experiment_id}"
+            )
+        labels = list(series)
+        rows = [
+            [result.checkpoints[idx]] + [series[label][idx] for label in labels]
+            for idx in _subsample(len(result.checkpoints), max_curve_rows)
+        ]
+        parts.append(
+            latex_table(
+                ["t"] + labels,
+                rows,
+                caption=f"{result.title} — {metric}",
+                label=f"tab:{result.experiment_id}-{_slug(metric)}",
+            )
+        )
+    return "\n\n".join(parts) + "\n"
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in text.lower()).strip("-")

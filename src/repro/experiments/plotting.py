@@ -1,0 +1,101 @@
+"""ASCII line charts for terminal reports.
+
+The paper's figures are line plots; a text-only reproduction still
+benefits from *seeing* the curve shapes (the regret drop, the TS/UCB
+gap) directly in ``fasea run`` output and in EXPERIMENTS.md.  This
+module renders one or more aligned series into a fixed-size character
+grid with per-series glyphs and a compact axis summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Series glyphs, assigned in insertion order (wraps around if needed).
+GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    steps: Optional[Sequence[int]] = None,
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Render aligned series as an ASCII chart.
+
+    NaNs are skipped (used by curves that end early, e.g. Figure 10's
+    accept-ratio columns).  Series are resampled to ``width`` columns;
+    the y-axis is shared and annotated with min/max.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError(f"chart too small: {width}x{height}")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"series lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    if length < 2:
+        raise ConfigurationError("need at least two points per series")
+    if steps is not None and len(steps) != length:
+        raise ConfigurationError("steps must align with the series")
+
+    stacked = np.array([list(v) for v in series.values()], dtype=float)
+    finite = stacked[np.isfinite(stacked)]
+    if finite.size == 0:
+        raise ConfigurationError("all series values are NaN")
+    y_min = float(finite.min())
+    y_max = float(finite.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    columns = np.linspace(0, length - 1, width).round().astype(int)
+    for series_index, values in enumerate(stacked):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        for col, source in enumerate(columns):
+            value = values[source]
+            if not np.isfinite(value):
+                continue
+            fraction = (value - y_min) / (y_max - y_min)
+            row = height - 1 - int(round(fraction * (height - 1)))
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.3g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_min:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    if steps is not None:
+        first, last = steps[0], steps[-1]
+        axis = f"t={first}".ljust(width - len(f"t={last}")) + f"t={last}"
+        lines.append(" " * label_width + " +" + "-" * width)
+        lines.append(" " * label_width + "  " + axis)
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def chart_for_metric(
+    metric: str,
+    series: Dict[str, List[float]],
+    checkpoints: Sequence[int],
+    max_series: int = 6,
+) -> str:
+    """Chart one experiment metric, keeping at most ``max_series`` lines."""
+    kept = dict(list(series.items())[:max_series])
+    return ascii_chart(kept, steps=list(checkpoints), title=f"[{metric}]")

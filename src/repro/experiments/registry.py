@@ -1,0 +1,48 @@
+"""The experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import extras, figures, tables
+from repro.experiments.reporting import ExperimentResult
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "fig1": figures.figure1,
+    "fig2": figures.figure2,
+    "fig3": figures.figure3,
+    "fig4": figures.figure4,
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig9": figures.figure9,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+    "fig12": figures.figure12,
+    "fig13": figures.figure13,
+    "tab5": tables.table5,
+    "tab6": tables.table6,
+    "tab7": tables.table7,
+    # Beyond the paper: the [9] contrast and the Remarks 1-2 extensions.
+    "mab": extras.mab_experiment,
+    "ext": extras.extensions_experiment,
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """Look up a runner; raise with the known ids on a miss."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            + ", ".join(sorted(EXPERIMENTS))
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids, figures first, in paper order."""
+    return list(EXPERIMENTS)

@@ -1,0 +1,169 @@
+"""Result containers and text/CSV rendering for experiments.
+
+An :class:`ExperimentResult` holds everything an experiment produced:
+named curve families (metric -> series label -> values over the same
+checkpoint grid) and/or table blocks.  ``render_result`` produces the
+plain-text report printed by the CLI; ``save_result`` writes that text
+plus one CSV per curve family / table into a results directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+
+Number = Union[int, float, str, None]
+
+
+@dataclass
+class TableBlock:
+    """One formatted table: headers plus rows of cells."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Number]]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ConfigurationError(
+                    f"row width {len(row)} != header width {len(self.headers)} "
+                    f"in table {self.title!r}"
+                )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    experiment_id: str
+    title: str
+    params: Dict[str, object] = field(default_factory=dict)
+    checkpoints: Optional[List[int]] = None
+    #: metric name -> series label -> values aligned with ``checkpoints``.
+    curves: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    tables: List[TableBlock] = field(default_factory=list)
+    notes: str = ""
+
+
+def _format_cell(value: Number) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Number]]) -> str:
+    """Fixed-width text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return "\n".join([line, rule, body]) if body else "\n".join([line, rule])
+
+
+def _subsample(indices_count: int, max_rows: int = 12) -> List[int]:
+    """Indices of at most ``max_rows`` evenly spaced rows (always last)."""
+    if indices_count <= max_rows:
+        return list(range(indices_count))
+    step = (indices_count - 1) / (max_rows - 1)
+    picked = sorted({round(i * step) for i in range(max_rows)})
+    if picked[-1] != indices_count - 1:
+        picked.append(indices_count - 1)
+    return picked
+
+
+def render_result(
+    result: ExperimentResult, max_curve_rows: int = 12, charts: bool = True
+) -> str:
+    """Plain-text report of one experiment result.
+
+    ``charts=True`` adds an ASCII line chart above each metric's table
+    (skipped automatically for metrics whose values cannot be charted).
+    """
+    # Imported here to avoid a cycle (plotting has no reporting dep, but
+    # keeping reporting importable standalone is convenient for tools).
+    from repro.experiments.plotting import chart_for_metric
+
+    parts = [f"== {result.experiment_id}: {result.title} =="]
+    if result.params:
+        parts.append(
+            "params: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(result.params.items()))
+        )
+    for metric, series in result.curves.items():
+        if result.checkpoints is None:
+            raise ConfigurationError(
+                f"curves present but no checkpoints in {result.experiment_id}"
+            )
+        labels = list(series)
+        rows = []
+        for idx in _subsample(len(result.checkpoints), max_curve_rows):
+            rows.append(
+                [result.checkpoints[idx]] + [series[label][idx] for label in labels]
+            )
+        parts.append(f"-- {metric} --")
+        if charts:
+            try:
+                parts.append(
+                    chart_for_metric(metric, series, result.checkpoints)
+                )
+            except ConfigurationError:
+                pass  # uncharted metrics still get their table below
+        parts.append(format_table(["t"] + labels, rows))
+    for table in result.tables:
+        parts.append(f"-- {table.title} --")
+        parts.append(format_table(table.headers, table.rows))
+    if result.notes:
+        parts.append(f"notes: {result.notes}")
+    return "\n\n".join(parts) + "\n"
+
+
+def save_result(result: ExperimentResult, outdir: Union[str, Path]) -> Path:
+    """Write the text report, curve CSVs, table CSVs and params JSON.
+
+    Returns the directory everything was written into
+    (``outdir/<experiment_id>/``).
+    """
+    directory = Path(outdir) / result.experiment_id
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "report.txt").write_text(render_result(result))
+    (directory / "params.json").write_text(
+        json.dumps({k: str(v) for k, v in result.params.items()}, indent=2) + "\n"
+    )
+    for metric, series in result.curves.items():
+        path = directory / f"curve_{_slug(metric)}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            labels = list(series)
+            writer.writerow(["t"] + labels)
+            for idx, step in enumerate(result.checkpoints or []):
+                writer.writerow([step] + [series[label][idx] for label in labels])
+    for table in result.tables:
+        path = directory / f"table_{_slug(table.title)}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+    return directory
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in text.lower()).strip("_")

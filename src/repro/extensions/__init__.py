@@ -1,0 +1,12 @@
+"""Extensions sketched in the paper's Remarks.
+
+* Remark 1 — :mod:`~repro.extensions.per_user`: learn an individual
+  ``theta`` per user while event capacities/conflicts stay shared.
+* Remark 2 — :mod:`~repro.extensions.dynamic_events`: a different
+  event set ``V_t`` is on offer at different time steps.
+"""
+
+from repro.extensions.dynamic_events import DynamicEventSchedule, run_dynamic_policy
+from repro.extensions.per_user import PerUserPolicyPool
+
+__all__ = ["DynamicEventSchedule", "PerUserPolicyPool", "run_dynamic_policy"]

@@ -1,0 +1,121 @@
+"""Time-varying event sets ``V_t`` (Remark 2 of the paper).
+
+"It is easy to extend FASEA to the scenario where different sets of
+events V_t are revealed at different time steps.  For example, when a
+user logs in on Monday, V could be the set of events on Tuesday and
+when a user logs in on Friday, V could be the set of events on the
+weekend."
+
+The schedule partitions the horizon into phases, each exposing a subset
+of the catalogue.  Inactive events are presented to policies with zero
+remaining capacity, so Oracle-Greedy skips them without any policy
+changes; the shared model still learns from whatever *is* arranged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.bandits.base import Policy, RoundView
+from repro.datasets.synthetic import SyntheticWorld
+from repro.exceptions import ConfigurationError
+from repro.simulation.environment import FaseaEnvironment
+from repro.simulation.history import History
+
+
+@dataclass(frozen=True)
+class DynamicEventSchedule:
+    """Cyclic schedule of active-event masks.
+
+    ``masks[k]`` is the boolean active mask during phase ``k``; phases
+    rotate every ``phase_length`` time steps.
+    """
+
+    masks: Tuple[np.ndarray, ...]
+    phase_length: int
+
+    def __post_init__(self) -> None:
+        if not self.masks:
+            raise ConfigurationError("schedule needs at least one phase mask")
+        if self.phase_length < 1:
+            raise ConfigurationError(
+                f"phase_length must be >= 1, got {self.phase_length}"
+            )
+        sizes = {mask.size for mask in self.masks}
+        if len(sizes) != 1:
+            raise ConfigurationError(f"masks cover differing event counts: {sizes}")
+        for mask in self.masks:
+            if not mask.any():
+                raise ConfigurationError("every phase must expose at least one event")
+
+    @property
+    def num_events(self) -> int:
+        return self.masks[0].size
+
+    def active_mask(self, time_step: int) -> np.ndarray:
+        """The active-event mask at 1-based ``time_step``."""
+        if time_step < 1:
+            raise ConfigurationError(f"time_step must be >= 1, got {time_step}")
+        phase = ((time_step - 1) // self.phase_length) % len(self.masks)
+        return self.masks[phase]
+
+    @classmethod
+    def round_robin(
+        cls, num_events: int, num_phases: int, phase_length: int
+    ) -> "DynamicEventSchedule":
+        """Partition events into ``num_phases`` interleaved subsets."""
+        if num_phases < 1 or num_phases > num_events:
+            raise ConfigurationError(
+                f"num_phases must be in [1, {num_events}], got {num_phases}"
+            )
+        masks = []
+        ids = np.arange(num_events)
+        for phase in range(num_phases):
+            masks.append(ids % num_phases == phase)
+        return cls(masks=tuple(masks), phase_length=phase_length)
+
+
+def run_dynamic_policy(
+    policy: Policy,
+    world: SyntheticWorld,
+    schedule: DynamicEventSchedule,
+    horizon: Optional[int] = None,
+    run_seed: int = 0,
+) -> History:
+    """Play ``policy`` on a world whose offer rotates per the schedule."""
+    if schedule.num_events != world.config.num_events:
+        raise ConfigurationError(
+            f"schedule covers {schedule.num_events} events but world has "
+            f"{world.config.num_events}"
+        )
+    horizon = horizon if horizon is not None else world.config.horizon
+    env = FaseaEnvironment(world, run_seed=run_seed)
+    rewards = np.zeros(horizon)
+    arranged_counts = np.zeros(horizon)
+    for t in range(1, horizon + 1):
+        view = env.begin_round()
+        mask = schedule.active_mask(t)
+        masked_view = RoundView(
+            time_step=view.time_step,
+            user=view.user,
+            contexts=view.contexts,
+            remaining_capacities=np.where(mask, view.remaining_capacities, 0.0),
+            conflicts=view.conflicts,
+        )
+        arrangement = policy.select(masked_view)
+        if any(not mask[event_id] for event_id in arrangement):
+            raise ConfigurationError(
+                f"policy arranged an inactive event at t={t}: {arrangement}"
+            )
+        round_rewards, _ = env.commit(arrangement)
+        policy.observe(masked_view, arrangement, round_rewards)
+        rewards[t - 1] = sum(round_rewards)
+        arranged_counts[t - 1] = len(arrangement)
+    return History(
+        policy_name=f"{policy.name}+dynamic",
+        rewards=rewards,
+        arranged=arranged_counts,
+    )

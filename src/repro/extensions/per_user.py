@@ -1,0 +1,62 @@
+"""Per-user models (Remark 1 of the paper).
+
+"It is also easy to extend FASEA to the scenario where different models
+(theta's) are estimated for different users.  That is, an individual
+theta is learned for each user but the information of events (conflicts
+and capacities) is shared among the users."
+
+:class:`PerUserPolicyPool` realises that: it is itself a
+:class:`~repro.bandits.base.Policy`, so it drops into the standard
+runner, but it routes each round to a per-``user_id`` inner policy
+created on first sight.  Capacities remain global because the platform
+— not the policies — owns them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.bandits.base import Policy, RoundView
+
+
+class PerUserPolicyPool(Policy):
+    """Route rounds to one lazily created policy per user id."""
+
+    name = "PerUser"
+
+    def __init__(self, policy_factory: Callable[[int], Policy]) -> None:
+        """``policy_factory(user_id)`` builds the model for a new user."""
+        self._factory = policy_factory
+        self._policies: Dict[int, Policy] = {}
+
+    def policy_for(self, user_id: int) -> Policy:
+        """The inner policy for ``user_id`` (created on first use)."""
+        if user_id not in self._policies:
+            self._policies[user_id] = self._factory(user_id)
+        return self._policies[user_id]
+
+    @property
+    def num_users_seen(self) -> int:
+        return len(self._policies)
+
+    def select(self, view: RoundView) -> List[int]:
+        return self.policy_for(view.user.user_id).select(view)
+
+    def observe(
+        self, view: RoundView, arranged: Sequence[int], rewards: Sequence[float]
+    ) -> None:
+        self.policy_for(view.user.user_id).observe(view, arranged, rewards)
+
+    def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
+        """Average of the per-user predictions (diagnostic only)."""
+        if not self._policies:
+            return super().predicted_scores(contexts)
+        stacked = np.vstack(
+            [p.predicted_scores(contexts) for p in self._policies.values()]
+        )
+        return stacked.mean(axis=0)
+
+    def reset(self) -> None:
+        self._policies.clear()

@@ -1,0 +1,14 @@
+"""Persistence: history serialisation and the SQLite run store.
+
+* :mod:`~repro.io.history_io` — save/load :class:`~repro.simulation.history.History`
+  objects (JSON metadata + npz arrays) so long runs can be archived and
+  re-analysed without re-simulating.
+* :mod:`~repro.io.runstore` — a small SQLite database of run summaries
+  and curve samples; the ``fasea`` CLI and the replication harness use
+  it to accumulate results across sessions and seeds.
+"""
+
+from repro.io.history_io import load_history, save_history
+from repro.io.runstore import RunRecord, RunStore
+
+__all__ = ["RunRecord", "RunStore", "load_history", "save_history"]

@@ -1,0 +1,78 @@
+"""Save and load run histories.
+
+A history is written as a single ``.npz`` archive: the reward /
+arrangement arrays plus optional Kendall diagnostics, with scalar
+metadata in a JSON sidecar array.  Loading reconstructs an equivalent
+:class:`~repro.simulation.history.History`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.history import History
+
+#: Bumped when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def save_history(history: History, path: Union[str, Path]) -> Path:
+    """Write ``history`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "policy_name": history.policy_name,
+        "avg_round_time": history.avg_round_time,
+        "has_kendall": history.kendall_taus is not None,
+    }
+    arrays = {
+        "rewards": history.rewards,
+        "arranged": history.arranged,
+        "metadata": np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    if history.kendall_taus is not None:
+        arrays["kendall_steps"] = history.kendall_steps
+        arrays["kendall_taus"] = history.kendall_taus
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_history(path: Union[str, Path]) -> History:
+    """Read a history previously written by :func:`save_history`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no history file at {path}")
+    with np.load(path) as archive:
+        try:
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as error:
+            raise ConfigurationError(f"{path} is not a history archive") from error
+        if metadata.get("format_version") != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path} has format version {metadata.get('format_version')}, "
+                f"expected {FORMAT_VERSION}"
+            )
+        kendall_steps = (
+            archive["kendall_steps"] if metadata.get("has_kendall") else None
+        )
+        kendall_taus = (
+            archive["kendall_taus"] if metadata.get("has_kendall") else None
+        )
+        return History(
+            policy_name=metadata["policy_name"],
+            rewards=archive["rewards"],
+            arranged=archive["arranged"],
+            avg_round_time=float(metadata["avg_round_time"]),
+            kendall_steps=kendall_steps,
+            kendall_taus=kendall_taus,
+        )

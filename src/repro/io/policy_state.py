@@ -1,0 +1,128 @@
+"""Save and restore the learned state of a policy.
+
+A trained policy is a small object — the ridge statistics ``(Y, b)``
+(or one pair per event for the disjoint variant).  Exporting it lets a
+run be warm-started: pretrain on a synthetic trace, deploy against the
+real dataset, or checkpoint a long paper-scale run between sessions.
+
+Only *learned* state is captured.  Policy hyperparameters (alpha,
+delta, epsilon) and RNG positions are not — the caller constructs the
+receiving policy with whatever parameters they want and restores the
+statistics into it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.bandits.base import Policy
+from repro.bandits.disjoint import DisjointUcbPolicy
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+#: Bumped when the on-disk layout changes incompatibly.
+STATE_FORMAT_VERSION = 1
+
+
+def _single_model(policy: Policy):
+    model = getattr(policy, "model", None)
+    if model is None or not hasattr(model, "state"):
+        return None
+    return model
+
+
+def save_policy_state(policy: Policy, path: PathLike) -> Path:
+    """Write a policy's learned statistics to an ``.npz`` archive.
+
+    Supports the shared-model policies (TS, UCB, eGreedy, Exploit) and
+    :class:`~repro.bandits.disjoint.DisjointUcbPolicy`.  Model-free
+    policies (Random, OPT) have nothing to save and are rejected.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    if isinstance(policy, DisjointUcbPolicy):
+        arrays = {
+            "version": np.array([STATE_FORMAT_VERSION]),
+            "kind": np.frombuffer(b"disjoint", dtype=np.uint8),
+            "num_models": np.array([policy.num_events]),
+        }
+        for index in range(policy.num_events):
+            state = policy.model_for(index).state
+            arrays[f"y_{index}"] = state.y
+            arrays[f"b_{index}"] = state.b
+            arrays[f"n_{index}"] = np.array([state.num_observations])
+        np.savez_compressed(path, **arrays)
+        return path
+
+    model = _single_model(policy)
+    if model is None:
+        raise ConfigurationError(
+            f"policy {policy.name!r} has no learnable state to save"
+        )
+    np.savez_compressed(
+        path,
+        version=np.array([STATE_FORMAT_VERSION]),
+        kind=np.frombuffer(b"shared", dtype=np.uint8),
+        y=model.state.y,
+        b=model.state.b,
+        n=np.array([model.state.num_observations]),
+    )
+    return path
+
+
+def load_policy_state(policy: Policy, path: PathLike) -> Policy:
+    """Restore saved statistics into an existing policy; returns it.
+
+    The receiving policy must structurally match the archive (same kind
+    of model, same dimension, same event count for disjoint states).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no policy state at {path}")
+    with np.load(path) as archive:
+        if "version" not in archive or "kind" not in archive:
+            raise ConfigurationError(f"{path} is not a policy-state archive")
+        version = int(archive["version"][0])
+        if version != STATE_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path} has state version {version}, expected "
+                f"{STATE_FORMAT_VERSION}"
+            )
+        kind = archive["kind"].tobytes().decode("ascii")
+        if kind == "disjoint":
+            if not isinstance(policy, DisjointUcbPolicy):
+                raise ConfigurationError(
+                    "archive holds disjoint state but the policy is "
+                    f"{type(policy).__name__}"
+                )
+            num_models = int(archive["num_models"][0])
+            if num_models != policy.num_events:
+                raise ConfigurationError(
+                    f"archive has {num_models} models, policy has "
+                    f"{policy.num_events}"
+                )
+            for index in range(num_models):
+                policy.model_for(index).state.restore(
+                    archive[f"y_{index}"],
+                    archive[f"b_{index}"],
+                    int(archive[f"n_{index}"][0]),
+                )
+            return policy
+        if kind == "shared":
+            model = _single_model(policy)
+            if model is None:
+                raise ConfigurationError(
+                    f"policy {policy.name!r} cannot receive shared state"
+                )
+            model.state.restore(
+                archive["y"], archive["b"], int(archive["n"][0])
+            )
+            return policy
+        raise ConfigurationError(f"unknown state kind {kind!r} in {path}")

@@ -1,0 +1,18 @@
+"""Linear-algebra substrate shared by every bandit policy.
+
+The FASEA algorithms (TS, UCB, eGreedy, Exploit) all maintain the same
+ridge-regression sufficient statistics ``(Y, b)`` where::
+
+    Y = lambda * I + sum_{arranged (t, v)} x_{t,v} x_{t,v}^T
+    b = sum_{arranged (t, v)} r_{t,v} x_{t,v}
+
+This package provides :class:`~repro.linalg.ridge.RidgeState`, which
+maintains those statistics together with an incrementally updated
+inverse (Sherman--Morrison), and the sampling helpers used by Thompson
+Sampling.
+"""
+
+from repro.linalg.ridge import RidgeState
+from repro.linalg.sampling import cholesky_sample, make_rng, spawn_rng
+
+__all__ = ["RidgeState", "cholesky_sample", "make_rng", "spawn_rng"]

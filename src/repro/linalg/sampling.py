@@ -1,0 +1,81 @@
+"""Random-number helpers: seeded generators and Gaussian sampling.
+
+All randomness in the library flows through :func:`make_rng` /
+:func:`spawn_rng` so that experiments are reproducible bit-for-bit and
+independent components (context stream, feedback coin flips, policy
+sampling) never share a generator.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (non-deterministic), an integer, or an
+    existing generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and ``keys``.
+
+    The child is a deterministic function of the parent's bit-generator
+    state *at creation time* and the integer ``keys``; use it to give
+    sub-components (e.g. the feedback stream at time step ``t``) their
+    own stream without perturbing the parent.
+    """
+    seed_seq = np.random.SeedSequence(
+        entropy=int(rng.integers(0, 2**63 - 1)), spawn_key=tuple(keys)
+    )
+    return np.random.default_rng(seed_seq)
+
+
+def cholesky_sample(
+    mean: np.ndarray,
+    covariance: np.ndarray,
+    rng: np.random.Generator,
+    jitter: float = 1e-10,
+    max_tries: int = 5,
+) -> np.ndarray:
+    """Draw one sample from ``N(mean, covariance)`` via Cholesky factoring.
+
+    ``covariance`` must be symmetric positive semi-definite up to noise;
+    a growing diagonal ``jitter`` is added when the factorisation fails,
+    which happens for near-singular posterior covariances late in a
+    Thompson Sampling run.
+
+    Raises
+    ------
+    ConfigurationError
+        If the covariance cannot be factorised even with jitter.
+    """
+    mean = np.asarray(mean, dtype=float)
+    covariance = np.asarray(covariance, dtype=float)
+    if mean.ndim != 1:
+        raise ConfigurationError(f"mean must be a vector, got shape {mean.shape}")
+    if covariance.shape != (mean.size, mean.size):
+        raise ConfigurationError(
+            f"covariance shape {covariance.shape} does not match mean size {mean.size}"
+        )
+    symmetric = 0.5 * (covariance + covariance.T)
+    scale = max(float(np.trace(symmetric)) / mean.size, 1.0)
+    for attempt in range(max_tries):
+        bump = jitter * scale * (10.0**attempt)
+        try:
+            lower = np.linalg.cholesky(symmetric + bump * np.eye(mean.size))
+        except np.linalg.LinAlgError:
+            continue
+        return mean + lower @ rng.standard_normal(mean.size)
+    raise ConfigurationError("covariance matrix is not positive semi-definite")

@@ -1,0 +1,39 @@
+"""Basic (non-contextual) multi-armed bandits.
+
+The paper's headline finding is a *contrast*: Thompson Sampling is
+"reported to work well under basic multi-armed bandit [9]" (Chapelle &
+Li, NIPS 2011) yet performs badly under FASEA.  To make that contrast
+reproducible inside one repository, this package implements the basic
+stochastic Bernoulli bandit and its classic algorithms:
+
+* :class:`~repro.mab.algorithms.Ucb1` — Auer et al.'s UCB1;
+* :class:`~repro.mab.algorithms.BetaThompsonSampling` — Beta-Bernoulli
+  Thompson Sampling, the algorithm [9] evaluates;
+* :class:`~repro.mab.algorithms.EpsilonGreedyMab` and
+  :class:`~repro.mab.algorithms.RandomMab` — the matching heuristics.
+
+``benchmarks/bench_ablation_basic_mab.py`` runs both worlds side by
+side: TS beats UCB1 on the basic bandit (reproducing [9]) while linear
+TS loses to linear UCB under FASEA (reproducing this paper).
+"""
+
+from repro.mab.algorithms import (
+    BetaThompsonSampling,
+    EpsilonGreedyMab,
+    MabAlgorithm,
+    RandomMab,
+    Ucb1,
+)
+from repro.mab.arms import BernoulliArm
+from repro.mab.simulator import MabHistory, run_mab
+
+__all__ = [
+    "BernoulliArm",
+    "BetaThompsonSampling",
+    "EpsilonGreedyMab",
+    "MabAlgorithm",
+    "MabHistory",
+    "RandomMab",
+    "Ucb1",
+    "run_mab",
+]

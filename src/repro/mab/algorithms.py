@@ -1,0 +1,121 @@
+"""Classic algorithms for the basic stochastic Bernoulli bandit.
+
+Under the basic bandit the arms are *independent* — pulling one tells
+you nothing about the others.  That independence is exactly what the
+paper conjectures makes Thompson Sampling shine here yet flounder under
+FASEA, where one shared ``theta`` couples every event.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+
+
+class MabAlgorithm(abc.ABC):
+    """An index/selection policy over ``num_arms`` independent arms."""
+
+    name = "mab"
+
+    def __init__(self, num_arms: int) -> None:
+        if num_arms < 2:
+            raise ConfigurationError(f"need at least 2 arms, got {num_arms}")
+        self.num_arms = num_arms
+        self.pulls = np.zeros(num_arms, dtype=int)
+        self.successes = np.zeros(num_arms)
+
+    @abc.abstractmethod
+    def select(self, time_step: int) -> int:
+        """Pick the arm to pull at 1-based ``time_step``."""
+
+    def observe(self, arm: int, reward: float) -> None:
+        """Record one pull's outcome."""
+        if not 0 <= arm < self.num_arms:
+            raise ConfigurationError(f"arm {arm} outside 0..{self.num_arms - 1}")
+        self.pulls[arm] += 1
+        self.successes[arm] += reward
+
+    def empirical_means(self) -> np.ndarray:
+        """Success frequency per arm (0 where never pulled)."""
+        return np.where(self.pulls > 0, self.successes / np.maximum(self.pulls, 1), 0.0)
+
+    def reset(self) -> None:
+        """Forget all pulls; return to the uninformed state."""
+        self.pulls = np.zeros(self.num_arms, dtype=int)
+        self.successes = np.zeros(self.num_arms)
+
+
+class Ucb1(MabAlgorithm):
+    """UCB1 (Auer, Cesa-Bianchi & Fischer 2002).
+
+    Index: ``mean_i + sqrt(2 ln t / n_i)``; unpulled arms first.
+    """
+
+    name = "UCB1"
+
+    def select(self, time_step: int) -> int:
+        unpulled = np.flatnonzero(self.pulls == 0)
+        if unpulled.size:
+            return int(unpulled[0])
+        bonus = np.sqrt(2.0 * math.log(max(time_step, 2)) / self.pulls)
+        return int(np.argmax(self.empirical_means() + bonus))
+
+
+class BetaThompsonSampling(MabAlgorithm):
+    """Beta-Bernoulli Thompson Sampling (the algorithm of [9]).
+
+    Each arm keeps a Beta(1 + successes, 1 + failures) posterior; pull
+    the arm whose posterior sample is largest.
+    """
+
+    name = "TS-Beta"
+
+    def __init__(self, num_arms: int, seed: RngLike = None) -> None:
+        super().__init__(num_arms)
+        self._rng = make_rng(seed)
+
+    def select(self, time_step: int) -> int:
+        alphas = 1.0 + self.successes
+        betas = 1.0 + (self.pulls - self.successes)
+        samples = self._rng.beta(alphas, betas)
+        return int(np.argmax(samples))
+
+
+class EpsilonGreedyMab(MabAlgorithm):
+    """epsilon-greedy over empirical means."""
+
+    name = "eGreedy-MAB"
+
+    def __init__(
+        self, num_arms: int, epsilon: float = 0.1, seed: RngLike = None
+    ) -> None:
+        super().__init__(num_arms)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self._rng = make_rng(seed)
+
+    def select(self, time_step: int) -> int:
+        if self._rng.uniform() <= self.epsilon:
+            return int(self._rng.integers(self.num_arms))
+        unpulled = np.flatnonzero(self.pulls == 0)
+        if unpulled.size:
+            return int(unpulled[0])
+        return int(np.argmax(self.empirical_means()))
+
+
+class RandomMab(MabAlgorithm):
+    """Uniform random pulls — the floor."""
+
+    name = "Random-MAB"
+
+    def __init__(self, num_arms: int, seed: RngLike = None) -> None:
+        super().__init__(num_arms)
+        self._rng = make_rng(seed)
+
+    def select(self, time_step: int) -> int:
+        return int(self._rng.integers(self.num_arms))

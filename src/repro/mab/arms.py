@@ -1,0 +1,37 @@
+"""Stochastic arms for the basic bandit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class BernoulliArm:
+    """An arm paying 1 with probability ``mean`` and 0 otherwise."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean <= 1.0:
+            raise ConfigurationError(f"arm mean must be in [0, 1], got {self.mean}")
+
+    def pull(self, rng: np.random.Generator) -> float:
+        """Draw one reward."""
+        return 1.0 if rng.uniform() < self.mean else 0.0
+
+
+def random_arms(
+    num_arms: int, seed: RngLike = None, low: float = 0.0, high: float = 1.0
+) -> "list[BernoulliArm]":
+    """Arms with means drawn uniformly from ``[low, high]``."""
+    if num_arms < 2:
+        raise ConfigurationError(f"need at least 2 arms, got {num_arms}")
+    if not 0.0 <= low <= high <= 1.0:
+        raise ConfigurationError(f"bad mean range [{low}, {high}]")
+    rng = make_rng(seed)
+    return [BernoulliArm(float(m)) for m in rng.uniform(low, high, size=num_arms)]

@@ -1,0 +1,70 @@
+"""Runner for the basic Bernoulli bandit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import RngLike, make_rng
+from repro.mab.algorithms import MabAlgorithm
+from repro.mab.arms import BernoulliArm
+
+
+@dataclass
+class MabHistory:
+    """Per-step record of one basic-bandit run."""
+
+    algorithm_name: str
+    rewards: np.ndarray
+    chosen_arms: np.ndarray
+    best_mean: float
+
+    @property
+    def horizon(self) -> int:
+        return int(self.rewards.size)
+
+    @property
+    def total_reward(self) -> float:
+        return float(self.rewards.sum())
+
+    def expected_regret(self) -> float:
+        """``T * mu* - total reward`` (the usual pseudo-regret proxy)."""
+        return self.horizon * self.best_mean - self.total_reward
+
+    def cumulative_regret(self) -> np.ndarray:
+        """Per-step cumulative gap to always pulling the best arm."""
+        steps = np.arange(1, self.horizon + 1)
+        return steps * self.best_mean - np.cumsum(self.rewards)
+
+
+def run_mab(
+    algorithm: MabAlgorithm,
+    arms: Sequence[BernoulliArm],
+    horizon: int,
+    seed: RngLike = None,
+) -> MabHistory:
+    """Play ``algorithm`` against ``arms`` for ``horizon`` pulls."""
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    if len(arms) != algorithm.num_arms:
+        raise ConfigurationError(
+            f"{len(arms)} arms but the algorithm expects {algorithm.num_arms}"
+        )
+    rng = make_rng(seed)
+    rewards = np.zeros(horizon)
+    chosen = np.zeros(horizon, dtype=int)
+    for t in range(1, horizon + 1):
+        arm = algorithm.select(t)
+        reward = arms[arm].pull(rng)
+        algorithm.observe(arm, reward)
+        rewards[t - 1] = reward
+        chosen[t - 1] = arm
+    return MabHistory(
+        algorithm_name=algorithm.name,
+        rewards=rewards,
+        chosen_arms=chosen,
+        best_mean=max(arm.mean for arm in arms),
+    )

@@ -1,0 +1,17 @@
+"""Evaluation metrics: Kendall-tau, regret accounting, run summaries,
+and the time/memory measurements used by Tables 5-6."""
+
+from repro.metrics.kendall import kendall_tau
+from repro.metrics.regret import regret_series, regret_ratio_series
+from repro.metrics.resources import measure_memory, time_policy_rounds
+from repro.metrics.summary import RunSummary, summarize
+
+__all__ = [
+    "RunSummary",
+    "kendall_tau",
+    "measure_memory",
+    "regret_ratio_series",
+    "regret_series",
+    "summarize",
+    "time_policy_rounds",
+]

@@ -1,0 +1,35 @@
+"""Regret accounting helpers (Equation 2 of the paper).
+
+Regret at horizon ``T`` is the gap between the reference strategy's
+(OPT on synthetic data, Full Knowledge on the real dataset) cumulative
+reward and the policy's, on the *same* environment seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.history import History
+
+
+def regret_series(policy: History, reference: History) -> np.ndarray:
+    """Per-step cumulative regret of ``policy`` vs ``reference``."""
+    if policy.horizon != reference.horizon:
+        raise ConfigurationError(
+            f"histories cover different horizons: {policy.horizon} vs "
+            f"{reference.horizon}"
+        )
+    return reference.cumulative_rewards() - policy.cumulative_rewards()
+
+
+def regret_ratio_series(policy: History, reference: History) -> np.ndarray:
+    """Per-step (total regrets / total rewards); inf before any reward."""
+    regrets = regret_series(policy, reference)
+    rewards = policy.cumulative_rewards()
+    return np.where(rewards > 0, regrets / np.maximum(rewards, 1.0), np.inf)
+
+
+def total_regret(policy: History, reference: History) -> float:
+    """``Reg(T)`` — the final cumulative regret."""
+    return float(regret_series(policy, reference)[-1])

@@ -1,0 +1,78 @@
+"""Time and memory measurement for Tables 5 and 6.
+
+The paper reports the average running time of each round and the
+memory consumption of each algorithm as |V| and d grow.  Absolute
+numbers are implementation- and machine-specific (theirs is C++ on an
+i7); what the tables assert — the *ordering* of the algorithms and the
+growth trends — is measured here with ``time.perf_counter`` and
+``tracemalloc``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Callable, Tuple, TypeVar
+
+from repro.bandits.base import Policy
+from repro.datasets.synthetic import SyntheticWorld
+from repro.exceptions import ConfigurationError
+from repro.simulation.environment import FaseaEnvironment
+
+T = TypeVar("T")
+
+
+def time_policy_rounds(
+    policy: Policy, world: SyntheticWorld, rounds: int, run_seed: int = 0
+) -> float:
+    """Average per-round policy time (select + observe) over ``rounds``.
+
+    Environment costs (context generation, feedback draws) are excluded
+    — the paper times the algorithms, not the workload generator.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    env = FaseaEnvironment(world, run_seed=run_seed)
+    elapsed = 0.0
+    for _ in range(rounds):
+        view = env.begin_round()
+        start = time.perf_counter()
+        arrangement = policy.select(view)
+        elapsed += time.perf_counter() - start
+        rewards, _ = env.commit(arrangement)
+        start = time.perf_counter()
+        policy.observe(view, arrangement, rewards)
+        elapsed += time.perf_counter() - start
+    return elapsed / rounds
+
+
+def measure_memory(fn: Callable[[], T]) -> Tuple[T, int]:
+    """Run ``fn`` under ``tracemalloc``; return (result, peak bytes)."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def measure_policy_memory(
+    policy_factory: Callable[[], Policy],
+    world: SyntheticWorld,
+    rounds: int,
+    run_seed: int = 0,
+) -> Tuple[float, int]:
+    """(avg round time, peak traced bytes) for a freshly built policy.
+
+    Time and memory come from two separate runs: ``tracemalloc`` slows
+    allocation-heavy code by an order of magnitude, so timing under it
+    would distort exactly the comparison Tables 5-6 make.
+    """
+    avg_time = time_policy_rounds(policy_factory(), world, rounds, run_seed=run_seed)
+    _, peak = measure_memory(
+        lambda: time_policy_rounds(
+            policy_factory(), world, rounds, run_seed=run_seed
+        )
+    )
+    return avg_time, peak

@@ -1,0 +1,55 @@
+"""Run summaries: the scalar metrics reported for each policy run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.simulation.history import History
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Final scalar metrics of one policy run (vs an optional reference)."""
+
+    policy_name: str
+    horizon: int
+    total_reward: float
+    total_arranged: float
+    overall_accept_ratio: float
+    total_regret: Optional[float] = None
+    regret_ratio: Optional[float] = None
+    avg_round_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for CSV/JSON reporting."""
+        return {
+            "policy": self.policy_name,
+            "horizon": self.horizon,
+            "total_reward": self.total_reward,
+            "total_arranged": self.total_arranged,
+            "accept_ratio": self.overall_accept_ratio,
+            "total_regret": self.total_regret,
+            "regret_ratio": self.regret_ratio,
+            "avg_round_time_sec": self.avg_round_time,
+        }
+
+
+def summarize(history: History, reference: Optional[History] = None) -> RunSummary:
+    """Collapse a history (and optional OPT reference) into scalars."""
+    total_regret = None
+    regret_ratio = None
+    if reference is not None:
+        total_regret = reference.total_reward - history.total_reward
+        if history.total_reward > 0:
+            regret_ratio = total_regret / history.total_reward
+    return RunSummary(
+        policy_name=history.policy_name,
+        horizon=history.horizon,
+        total_reward=history.total_reward,
+        total_arranged=float(history.arranged.sum()),
+        overall_accept_ratio=history.overall_accept_ratio,
+        total_regret=total_regret,
+        regret_ratio=regret_ratio,
+        avg_round_time=history.avg_round_time,
+    )

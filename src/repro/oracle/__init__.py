@@ -1,0 +1,16 @@
+"""Arrangement oracles: given per-event scores, pick a feasible set.
+
+Making a non-conflicting, capacity-respecting arrangement that
+maximises the summed score is NP-hard (it embeds independent set), so
+the paper uses **Oracle-Greedy** (Algorithm 2), a ``1/c_u``
+approximation (Theorem 1).  This package also ships an exact
+brute-force oracle for small instances (used by tests to certify the
+approximation bound) and the random-order oracle behind the Random
+baseline.
+"""
+
+from repro.oracle.exact import exact_arrangement
+from repro.oracle.greedy import oracle_greedy
+from repro.oracle.random_order import random_arrangement
+
+__all__ = ["exact_arrangement", "oracle_greedy", "random_arrangement"]

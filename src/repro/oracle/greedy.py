@@ -1,0 +1,91 @@
+"""Oracle-Greedy (Algorithm 2 of the paper).
+
+Visit events in non-increasing order of estimated reward; add each
+visited event to the arrangement if it still has capacity and does not
+conflict with anything already chosen; stop once ``c_u`` events are
+arranged.  Events with non-positive estimated reward are deliberately
+*kept* (see the discussion after Example 2 in the paper): they only
+enter when nothing better fits, and their true reward may be positive.
+
+Complexity: ``O(|V| log |V|)`` for the sort plus ``O(c_u |V|)`` conflict
+checks, exactly as the paper's complexity analysis states.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ebsn.conflicts import BaseConflictGraph
+from repro.exceptions import ConfigurationError
+
+
+def oracle_greedy(
+    scores: np.ndarray,
+    conflicts: BaseConflictGraph,
+    remaining_capacities: np.ndarray,
+    user_capacity: int,
+    order: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Return a feasible arrangement greedily by score.
+
+    Parameters
+    ----------
+    scores:
+        Estimated reward per event id (``\\hat r_{t,v}``); higher is
+        visited earlier.  Ties are broken by ascending event id so the
+        result is deterministic.
+    conflicts:
+        The conflict graph.
+    remaining_capacities:
+        Remaining capacity per event id; events at 0 are skipped.
+    user_capacity:
+        ``c_u`` — the maximum arrangement size.
+    order:
+        Optional explicit visiting order (used by the Random baseline);
+        overrides the score sort when given.
+
+    Returns
+    -------
+    list of int
+        Event ids in the order they were arranged.
+    """
+    scores = np.asarray(scores, dtype=float)
+    remaining_capacities = np.asarray(remaining_capacities, dtype=float)
+    if scores.shape != remaining_capacities.shape:
+        raise ConfigurationError(
+            f"scores shape {scores.shape} != capacities shape "
+            f"{remaining_capacities.shape}"
+        )
+    if scores.ndim != 1:
+        raise ConfigurationError("scores must be one-dimensional")
+    if scores.size != conflicts.num_events:
+        raise ConfigurationError(
+            f"{scores.size} scores but conflict graph covers "
+            f"{conflicts.num_events} events"
+        )
+    if user_capacity < 1:
+        raise ConfigurationError(f"user capacity must be >= 1, got {user_capacity}")
+
+    if order is None:
+        # Stable sort on (-score) gives non-increasing score with
+        # ascending-id tie-break.
+        visit_order = np.argsort(-scores, kind="stable")
+    else:
+        visit_order = np.asarray(list(order), dtype=int)
+        if visit_order.size != scores.size or set(visit_order.tolist()) != set(
+            range(scores.size)
+        ):
+            raise ConfigurationError("order must be a permutation of all event ids")
+
+    arrangement: List[int] = []
+    blocked = np.zeros(scores.size, dtype=bool)
+    for event_id in visit_order.tolist():
+        if len(arrangement) >= user_capacity:
+            break
+        if remaining_capacities[event_id] <= 0 or blocked[event_id]:
+            continue
+        arrangement.append(int(event_id))
+        blocked |= conflicts.neighbor_mask(event_id)
+    return arrangement

@@ -1,0 +1,36 @@
+"""Random-order arrangement (the Random baseline's oracle).
+
+The paper's Random algorithm "visits each v in V in a random order and
+the rest is the same as lines 3-5 of Oracle-Greedy": it fills the
+user's capacity with available, non-conflicting events encountered in a
+uniformly random permutation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ebsn.conflicts import BaseConflictGraph
+from repro.linalg.sampling import RngLike, make_rng
+from repro.oracle.greedy import oracle_greedy
+
+
+def random_arrangement(
+    conflicts: BaseConflictGraph,
+    remaining_capacities: np.ndarray,
+    user_capacity: int,
+    rng: RngLike = None,
+) -> List[int]:
+    """Arrange up to ``c_u`` available non-conflicting events at random."""
+    rng = make_rng(rng)
+    num_events = conflicts.num_events
+    order = rng.permutation(num_events)
+    return oracle_greedy(
+        scores=np.zeros(num_events),
+        conflicts=conflicts,
+        remaining_capacities=remaining_capacities,
+        user_capacity=user_capacity,
+        order=order,
+    )

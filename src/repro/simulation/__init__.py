@@ -1,0 +1,25 @@
+"""Simulation engine: environments, the round runner, and histories.
+
+* :class:`~repro.simulation.environment.FaseaEnvironment` — the full
+  FASEA setting (capacities, conflicts, multi-event arrangements).
+* :mod:`~repro.simulation.basic` — the basic contextual bandit setting
+  of Section 5.2's final experiments (no capacities/conflicts, one
+  event per round).
+* :func:`~repro.simulation.runner.run_policy` — plays one policy for
+  ``T`` rounds and returns a :class:`~repro.simulation.history.History`.
+* :mod:`~repro.simulation.realdata` — the Damai replay loop (same user
+  and contexts every round, deterministic feedback).
+"""
+
+from repro.simulation.basic import build_basic_world
+from repro.simulation.environment import FaseaEnvironment
+from repro.simulation.history import History, default_checkpoints
+from repro.simulation.runner import run_policy
+
+__all__ = [
+    "FaseaEnvironment",
+    "History",
+    "build_basic_world",
+    "default_checkpoints",
+    "run_policy",
+]

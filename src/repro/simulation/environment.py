@@ -1,0 +1,88 @@
+"""The FASEA simulation environment.
+
+Each round the environment reveals what Definition 3 says is revealed
+— the arriving user's capacity and one context vector per event — and,
+after the policy commits an arrangement, draws the user's feedback:
+event ``v`` is accepted with probability ``clip(x_{t,v}^T theta, 0, 1)``.
+
+Common random numbers: the per-round draws happen in a fixed order
+(user capacity, context matrix, one acceptance threshold per event)
+from dedicated sub-generators, so two runs with the same world and
+``run_seed`` present *identical* users, contexts and latent coin flips
+to different policies.  An event is accepted iff its pre-drawn
+threshold falls below its acceptance probability, which depends only on
+the context — not on which policy asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bandits.base import RoundView
+from repro.datasets.synthetic import SyntheticWorld
+from repro.ebsn.ledger import LedgerEntry
+from repro.ebsn.platform import Platform
+from repro.exceptions import ConfigurationError
+
+
+class FaseaEnvironment:
+    """One run's worth of platform state and random streams."""
+
+    def __init__(self, world: SyntheticWorld, run_seed: int = 0) -> None:
+        self.world = world
+        self.platform = Platform(world.make_store(), world.conflicts)
+        root = np.random.SeedSequence(entropy=run_seed, spawn_key=(world.config.seed,))
+        arrival_seq, context_seq, feedback_seq = root.spawn(3)
+        self._arrivals = world.make_arrivals(np.random.default_rng(arrival_seq))
+        self._context_rng = np.random.default_rng(context_seq)
+        self._feedback_rng = np.random.default_rng(feedback_seq)
+        self._sampler = world.make_context_sampler()
+        self._pending: Optional[Tuple[RoundView, np.ndarray]] = None
+
+    @property
+    def num_events(self) -> int:
+        return len(self.platform.store)
+
+    @property
+    def time_step(self) -> int:
+        return self.platform.time_step
+
+    def begin_round(self) -> RoundView:
+        """Reveal the next user and context matrix (start of step ``t``)."""
+        if self._pending is not None:
+            raise ConfigurationError(
+                "begin_round called twice without an intervening commit"
+            )
+        user = self._arrivals.next_user()
+        contexts = self._sampler.sample(self._context_rng)
+        thresholds = self._feedback_rng.uniform(size=self.num_events)
+        view = RoundView(
+            time_step=self.platform.time_step + 1,
+            user=user,
+            contexts=contexts,
+            remaining_capacities=self.platform.store.remaining_capacities,
+            conflicts=self.platform.conflicts,
+        )
+        self._pending = (view, thresholds)
+        return view
+
+    def commit(self, arranged: Sequence[int]) -> Tuple[List[float], LedgerEntry]:
+        """Commit an arrangement, returning per-event rewards and the entry."""
+        if self._pending is None:
+            raise ConfigurationError("commit called before begin_round")
+        view, thresholds = self._pending
+        self._pending = None
+        probabilities = self.world.accept_probabilities(view.contexts)
+        entry = self.platform.commit(
+            view.user,
+            arranged,
+            feedback=lambda event_id: bool(
+                thresholds[event_id] < probabilities[event_id]
+            ),
+        )
+        accepted = set(entry.accepted)
+        rewards = [1.0 if event_id in accepted else 0.0 for event_id in arranged]
+        return rewards, entry

@@ -1,0 +1,121 @@
+"""Fleet runner: many policies, one shared input stream.
+
+``run_policy`` replays the environment streams once *per policy*;
+context generation (|V| x d Gaussians per round) then dominates the
+wall clock of every multi-policy experiment.  The fleet runner draws
+each round's user, context matrix and acceptance thresholds **once**
+and steps every policy against them in lockstep, each with its own
+platform (capacities evolve per policy, as they must).
+
+The streams are constructed exactly as
+:class:`~repro.simulation.environment.FaseaEnvironment` constructs
+them, so a fleet run is *bit-for-bit identical* to running each policy
+individually with the same ``(world, run_seed)`` —
+``tests/test_fleet.py`` asserts that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bandits.base import Policy, RoundView
+from repro.datasets.synthetic import SyntheticWorld
+from repro.ebsn.platform import Platform
+from repro.exceptions import ConfigurationError
+from repro.metrics.kendall import kendall_tau
+from repro.simulation.history import History, default_checkpoints
+
+
+def run_policy_fleet(
+    policies: Dict[str, Policy],
+    world: SyntheticWorld,
+    horizon: Optional[int] = None,
+    run_seed: int = 0,
+    track_kendall: bool = False,
+    kendall_checkpoints: Optional[Sequence[int]] = None,
+    eval_contexts: Optional[np.ndarray] = None,
+) -> Dict[str, History]:
+    """Play every policy on one shared stream; return histories by name.
+
+    The dict keys become the ``policy_name`` of each returned history
+    (useful when running several differently-parametrised instances of
+    the same algorithm).
+    """
+    if not policies:
+        raise ConfigurationError("need at least one policy")
+    horizon = horizon if horizon is not None else world.config.horizon
+
+    # Mirror FaseaEnvironment's stream construction exactly.
+    root = np.random.SeedSequence(entropy=run_seed, spawn_key=(world.config.seed,))
+    arrival_seq, context_seq, feedback_seq = root.spawn(3)
+    arrivals = world.make_arrivals(np.random.default_rng(arrival_seq))
+    context_rng = np.random.default_rng(context_seq)
+    feedback_rng = np.random.default_rng(feedback_seq)
+    sampler = world.make_context_sampler()
+
+    platforms = {name: Platform(world.make_store(), world.conflicts) for name in policies}
+    rewards = {name: np.zeros(horizon) for name in policies}
+    arranged_counts = {name: np.zeros(horizon) for name in policies}
+
+    checkpoints: List[int] = []
+    checkpoint_set = frozenset()
+    taus: Dict[str, List[float]] = {name: [] for name in policies}
+    true_scores: Optional[np.ndarray] = None
+    if track_kendall:
+        checkpoints = (
+            list(kendall_checkpoints)
+            if kendall_checkpoints is not None
+            else default_checkpoints(horizon)
+        )
+        checkpoint_set = frozenset(checkpoints)
+        if eval_contexts is None:
+            eval_contexts = world.evaluation_contexts()
+        true_scores = world.expected_rewards(eval_contexts)
+
+    num_events = len(world.capacities)
+    for t in range(1, horizon + 1):
+        user = arrivals.next_user()
+        contexts = sampler.sample(context_rng)
+        thresholds = feedback_rng.uniform(size=num_events)
+        probabilities = world.accept_probabilities(contexts)
+        accepts = thresholds < probabilities
+        for name, policy in policies.items():
+            platform = platforms[name]
+            view = RoundView(
+                time_step=t,
+                user=user,
+                contexts=contexts,
+                remaining_capacities=platform.store.remaining_capacities,
+                conflicts=platform.conflicts,
+            )
+            arrangement = policy.select(view)
+            entry = platform.commit(
+                user, arrangement, feedback=lambda e: bool(accepts[e])
+            )
+            accepted = set(entry.accepted)
+            policy.observe(
+                view,
+                arrangement,
+                [1.0 if e in accepted else 0.0 for e in arrangement],
+            )
+            rewards[name][t - 1] = entry.reward
+            arranged_counts[name][t - 1] = len(arrangement)
+            if t in checkpoint_set and true_scores is not None:
+                taus[name].append(
+                    kendall_tau(
+                        policy.ranking_scores(eval_contexts, t), true_scores
+                    )
+                )
+
+    histories: Dict[str, History] = {}
+    for name in policies:
+        histories[name] = History(
+            policy_name=name,
+            rewards=rewards[name],
+            arranged=arranged_counts[name],
+            kendall_steps=np.asarray(checkpoints, dtype=int) if track_kendall else None,
+            kendall_taus=np.asarray(taus[name]) if track_kendall else None,
+        )
+    return histories

@@ -1,0 +1,147 @@
+"""Run histories and the metric series derived from them.
+
+A :class:`History` stores the per-step rewards and arrangement sizes of
+one policy run plus optional diagnostics (Kendall-tau checkpoints,
+average round time).  All of the paper's four headline metrics — accept
+ratio, total rewards, total regrets, regret ratio — are derived views
+over two histories (the policy's and OPT's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def default_checkpoints(horizon: int) -> List[int]:
+    """The paper's checkpoint grid: 100, 200, ..., 1000, 2000, ..., T.
+
+    Falls back to ten evenly spaced steps for very short horizons.
+    """
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    points = [t for t in range(100, min(1000, horizon) + 1, 100)]
+    points += [t for t in range(2000, horizon + 1, 1000)]
+    if horizon not in points:
+        points.append(horizon)
+    if not points or horizon < 100:
+        step = max(1, horizon // 10)
+        points = sorted(set(list(range(step, horizon + 1, step)) + [horizon]))
+    return points
+
+
+@dataclass
+class History:
+    """Per-step record of one policy run."""
+
+    policy_name: str
+    rewards: np.ndarray
+    arranged: np.ndarray
+    avg_round_time: float = 0.0
+    kendall_steps: Optional[np.ndarray] = None
+    kendall_taus: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.rewards = np.asarray(self.rewards, dtype=float)
+        self.arranged = np.asarray(self.arranged, dtype=float)
+        if self.rewards.shape != self.arranged.shape:
+            raise ConfigurationError(
+                f"rewards shape {self.rewards.shape} != arranged shape "
+                f"{self.arranged.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        return int(self.rewards.size)
+
+    @property
+    def total_reward(self) -> float:
+        """``sum_t r_{t,A_t}`` over the whole run."""
+        return float(self.rewards.sum())
+
+    @property
+    def overall_accept_ratio(self) -> float:
+        """Accepted / arranged over the whole run."""
+        total_arranged = float(self.arranged.sum())
+        return self.total_reward / total_arranged if total_arranged else 0.0
+
+    # ------------------------------------------------------------------
+    # Series
+    # ------------------------------------------------------------------
+    def cumulative_rewards(self) -> np.ndarray:
+        """Running total of accepted events."""
+        return np.cumsum(self.rewards)
+
+    def cumulative_arranged(self) -> np.ndarray:
+        """Running total of arranged events."""
+        return np.cumsum(self.arranged)
+
+    def accept_ratio_at(self, checkpoints: Sequence[int]) -> np.ndarray:
+        """Cumulative accept ratio at each checkpoint step (1-based)."""
+        idx = self._checkpoint_indices(checkpoints)
+        accepted = self.cumulative_rewards()[idx]
+        arranged = self.cumulative_arranged()[idx]
+        return np.where(arranged > 0, accepted / np.maximum(arranged, 1.0), 0.0)
+
+    def rewards_at(self, checkpoints: Sequence[int]) -> np.ndarray:
+        """Cumulative rewards at each checkpoint step (1-based)."""
+        return self.cumulative_rewards()[self._checkpoint_indices(checkpoints)]
+
+    def regret_at(self, reference: "History", checkpoints: Sequence[int]) -> np.ndarray:
+        """Total regret vs ``reference`` (OPT / Full Knowledge) per checkpoint.
+
+        Equation 2 of the paper: the gap between the reference's and
+        this run's cumulative rewards.
+        """
+        if reference.horizon != self.horizon:
+            raise ConfigurationError(
+                f"reference horizon {reference.horizon} != {self.horizon}"
+            )
+        return reference.rewards_at(checkpoints) - self.rewards_at(checkpoints)
+
+    def regret_ratio_at(
+        self, reference: "History", checkpoints: Sequence[int]
+    ) -> np.ndarray:
+        """Total regrets / total rewards per checkpoint (metric 4)."""
+        regrets = self.regret_at(reference, checkpoints)
+        rewards = self.rewards_at(checkpoints)
+        return np.where(rewards > 0, regrets / np.maximum(rewards, 1.0), np.inf)
+
+    def windowed_accept_ratio(self, window: int) -> np.ndarray:
+        """Accept ratio over a trailing window, one value per step.
+
+        Early steps use the partial prefix.  Unlike the cumulative
+        ratio this reveals *local* behaviour — e.g. the dip the paper
+        describes just before capacities run out.
+        """
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        accepted = np.concatenate([[0.0], np.cumsum(self.rewards)])
+        arranged = np.concatenate([[0.0], np.cumsum(self.arranged)])
+        starts = np.maximum(np.arange(self.horizon) + 1 - window, 0)
+        ends = np.arange(self.horizon) + 1
+        window_accepted = accepted[ends] - accepted[starts]
+        window_arranged = arranged[ends] - arranged[starts]
+        return np.where(
+            window_arranged > 0,
+            window_accepted / np.maximum(window_arranged, 1.0),
+            0.0,
+        )
+
+    def _checkpoint_indices(self, checkpoints: Sequence[int]) -> np.ndarray:
+        steps = np.asarray(list(checkpoints), dtype=int)
+        if steps.size == 0:
+            raise ConfigurationError("checkpoints must be non-empty")
+        if steps.min() < 1 or steps.max() > self.horizon:
+            raise ConfigurationError(
+                f"checkpoints must lie in [1, {self.horizon}], got "
+                f"[{steps.min()}, {steps.max()}]"
+            )
+        return steps - 1

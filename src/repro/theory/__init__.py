@@ -1,0 +1,23 @@
+"""Theoretical quantities behind the algorithms.
+
+The paper leans on two published analyses: the confidence-ellipsoid
+construction of Abbasi-Yadkori et al. that powers both C²UCB's bound
+[36] and linear TS's ``q`` [1][2], and Theorem 1's ``1/c_u`` oracle
+approximation.  This package computes those quantities so experiments
+can compare *measured* regret against the *predicted* envelope:
+
+* :func:`~repro.theory.bounds.confidence_radius` — ``beta_t(delta)``,
+  the ellipsoid radius after ``n`` observations;
+* :func:`~repro.theory.bounds.cucb_regret_bound` — the
+  ``O(d sqrt(T) log T)``-style high-probability regret envelope;
+* :func:`~repro.theory.bounds.ts_sampling_width` — the ``q`` of
+  Algorithm 1, exposed standalone for analysis scripts.
+"""
+
+from repro.theory.bounds import (
+    confidence_radius,
+    cucb_regret_bound,
+    ts_sampling_width,
+)
+
+__all__ = ["confidence_radius", "cucb_regret_bound", "ts_sampling_width"]

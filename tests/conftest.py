@@ -1,0 +1,58 @@
+"""Shared fixtures for the FASEA reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.damai import DamaiDataset, load_damai
+from repro.datasets.synthetic import SyntheticConfig, SyntheticWorld, build_world
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.events import EventStore
+from repro.ebsn.users import User
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> SyntheticConfig:
+    """A tiny Table 4 instance for fast unit tests."""
+    return SyntheticConfig(
+        num_events=12,
+        horizon=200,
+        dim=4,
+        capacity_mean=8.0,
+        capacity_std=3.0,
+        conflict_ratio=0.25,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def small_world(small_config: SyntheticConfig) -> SyntheticWorld:
+    return build_world(small_config)
+
+
+@pytest.fixture
+def simple_store() -> EventStore:
+    return EventStore.from_capacities([2, 1, 3, 1])
+
+
+@pytest.fixture
+def simple_conflicts():
+    # 0-1 and 2-3 conflict.
+    return ConflictGraph(4, [(0, 1), (2, 3)])
+
+
+@pytest.fixture
+def simple_user() -> User:
+    return User(user_id=0, capacity=2)
+
+
+@pytest.fixture(scope="session")
+def damai() -> DamaiDataset:
+    """The canonical Damai-like dataset (built once per session)."""
+    return load_damai()

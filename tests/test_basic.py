@@ -1,0 +1,61 @@
+"""The basic contextual bandit mode (Figures 11-13)."""
+
+import math
+
+import numpy as np
+
+from repro.bandits import OptPolicy, UcbPolicy
+from repro.datasets.synthetic import SyntheticConfig
+from repro.simulation.basic import build_basic_world
+from repro.simulation.runner import run_policy
+
+
+def make_basic():
+    return build_basic_world(
+        SyntheticConfig(num_events=10, horizon=300, dim=3, seed=1)
+    )
+
+
+def test_basic_world_has_no_conflicts_and_infinite_capacity():
+    world = make_basic()
+    assert world.conflicts.num_pairs() == 0
+    assert all(math.isinf(c) for c in world.capacities)
+    assert world.config.user_capacity_min == 1
+    assert world.config.user_capacity_max == 1
+
+
+def test_basic_rounds_arrange_exactly_one_event():
+    world = make_basic()
+    history = run_policy(OptPolicy(world.theta), world, horizon=100)
+    assert np.all(history.arranged == 1)
+
+
+def test_basic_capacities_never_exhaust():
+    world = make_basic()
+    history = run_policy(OptPolicy(world.theta), world, horizon=300)
+    # OPT's cumulative rewards keep growing to the end (no sudden plateau).
+    cumulative = history.cumulative_rewards()
+    assert cumulative[-1] > cumulative[len(cumulative) // 2]
+
+
+def test_basic_preserves_theta_of_the_underlying_world():
+    from repro.datasets.synthetic import build_world
+
+    config = SyntheticConfig(num_events=10, horizon=100, dim=3, seed=1)
+    assert np.allclose(
+        build_basic_world(config).theta, build_world(
+            config.with_overrides(
+                conflict_ratio=0.0, user_capacity_min=1, user_capacity_max=1
+            )
+        ).theta
+    )
+
+
+def test_ucb_learns_in_basic_mode():
+    world = make_basic()
+    opt = run_policy(OptPolicy(world.theta), world, horizon=300, run_seed=0)
+    ucb = run_policy(UcbPolicy(dim=3), world, horizon=300, run_seed=0)
+    # Late-stage accept ratio approaches OPT's.
+    late_opt = opt.rewards[200:].mean()
+    late_ucb = ucb.rewards[200:].mean()
+    assert late_ucb > 0.7 * late_opt

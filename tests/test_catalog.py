@@ -1,0 +1,119 @@
+"""The EventCatalog secondary indexes."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.catalog import EventCatalog
+from repro.ebsn.events import Event
+from repro.exceptions import ConfigurationError, UnknownEventError
+
+
+def make_catalog():
+    return EventCatalog(
+        [
+            Event(
+                0,
+                10,
+                category="Music",
+                subcategory="jazz",
+                tags=("Music", "jazz"),
+                attributes={"day_of_week": "Sat", "price_band": "0-49"},
+            ),
+            Event(
+                1,
+                5,
+                category="Sports",
+                subcategory="football",
+                tags=("Sports", "football"),
+                attributes={"day_of_week": "Sat"},
+            ),
+            Event(
+                2,
+                8,
+                category="Music",
+                subcategory="piano",
+                tags=("Music", "piano"),
+                attributes={"day_of_week": "Sun"},
+            ),
+        ]
+    )
+
+
+def test_catalog_validation():
+    with pytest.raises(ConfigurationError):
+        EventCatalog([])
+    with pytest.raises(ConfigurationError):
+        EventCatalog([Event(0, 1), Event(2, 1)])
+
+
+def test_basic_access():
+    catalog = make_catalog()
+    assert len(catalog) == 3
+    assert catalog[1].category == "Sports"
+    with pytest.raises(UnknownEventError):
+        catalog[9]
+
+
+def test_category_and_subcategory_indexes():
+    catalog = make_catalog()
+    assert catalog.by_category("Music") == [0, 2]
+    assert catalog.by_category("Sports") == [1]
+    assert catalog.by_category("Theater") == []
+    assert catalog.by_subcategory("piano") == [2]
+    assert catalog.categories() == frozenset({"Music", "Sports"})
+
+
+def test_tag_index_and_union_query():
+    catalog = make_catalog()
+    assert catalog.by_tag("jazz") == [0]
+    assert catalog.matching_any_tag(["jazz", "football"]) == [0, 1]
+    assert catalog.matching_any_tag([]) == []
+    assert "piano" in catalog.tags()
+
+
+def test_attribute_index():
+    catalog = make_catalog()
+    assert catalog.by_attribute("day_of_week", "Sat") == [0, 1]
+    assert catalog.by_attribute("price_band", "0-49") == [0]
+    assert catalog.by_attribute("nope", "x") == []
+
+
+def test_filter_predicate():
+    catalog = make_catalog()
+    assert catalog.filter(lambda e: e.capacity > 6) == [0, 2]
+
+
+def test_mask_for_builds_schedule_phases():
+    catalog = make_catalog()
+    mask = catalog.mask_for(catalog.by_category("Music"))
+    assert mask.tolist() == [True, False, True]
+    with pytest.raises(UnknownEventError):
+        catalog.mask_for([7])
+
+
+def test_category_histogram():
+    assert make_catalog().category_histogram() == {"Music": 2, "Sports": 1}
+
+
+def test_catalog_over_the_damai_events(damai):
+    catalog = EventCatalog(damai.platform_events())
+    histogram = catalog.category_histogram()
+    assert sum(histogram.values()) == 50
+    # Every indexed event is really in that category.
+    for category, ids in histogram.items():
+        for event_id in catalog.by_category(category):
+            assert damai.events[event_id].category == category
+
+
+def test_catalog_mask_plugs_into_dynamic_schedules(damai):
+    from repro.extensions import DynamicEventSchedule
+
+    catalog = EventCatalog(damai.platform_events())
+    weekend = catalog.mask_for(
+        catalog.by_attribute("day_of_week", "Sat")
+        + catalog.by_attribute("day_of_week", "Sun")
+    )
+    rest = ~weekend
+    if weekend.any() and rest.any():
+        schedule = DynamicEventSchedule(masks=(weekend, rest), phase_length=10)
+        assert schedule.num_events == 50

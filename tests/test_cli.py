@@ -1,0 +1,63 @@
+"""The fasea CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert "fig1" in out
+    assert "tab7" in out
+    assert "mab" in out
+    assert len(out) == 18
+
+
+def test_run_writes_reports(tmp_path, capsys):
+    code = main(
+        ["run", "fig2", "--out", str(tmp_path), "--horizon", "150", "--quiet"]
+    )
+    assert code == 0
+    assert (tmp_path / "fig2" / "report.txt").exists()
+    assert (tmp_path / "fig2" / "curve_kendall_tau.csv").exists()
+
+
+def test_run_prints_report_unless_quiet(tmp_path, capsys):
+    main(["run", "fig2", "--out", str(tmp_path), "--horizon", "150"])
+    out = capsys.readouterr().out
+    assert "kendall_tau" in out
+
+
+def test_run_rejects_unknown_experiment(tmp_path):
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["run", "fig99", "--out", str(tmp_path)])
+
+
+def test_quickstart_runs(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "UCB" in out
+    assert "Random" in out
+
+
+def test_parser_rejects_bad_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig1", "--scale", "huge"])
+
+
+def test_export_damai_writes_the_bundle(tmp_path, capsys):
+    assert main(["export-damai", "--out", str(tmp_path / "damai")]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert (tmp_path / "damai" / "events.csv").exists()
+    assert (tmp_path / "damai" / "manifest.json").exists()
+
+
+def test_replicate_prints_ci_table(capsys):
+    assert main(["replicate", "--seeds", "2", "--horizon", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "accept_ratio" in out
+    assert "UCB > TS on every seed" in out

@@ -1,0 +1,124 @@
+"""Conflict graphs: both backends, the ratio generator, equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebsn.conflicts import (
+    ConflictGraph,
+    DenseConflictGraph,
+    SparseConflictGraph,
+    random_conflicts,
+)
+from repro.exceptions import ConfigurationError
+
+BACKENDS = [DenseConflictGraph, SparseConflictGraph]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_basic_pair_queries(backend):
+    graph = backend(4, [(0, 1), (2, 3)])
+    assert graph.conflicts(0, 1)
+    assert graph.conflicts(1, 0)
+    assert not graph.conflicts(0, 2)
+    assert graph.num_pairs() == 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_self_conflicts_and_bad_ids_rejected(backend):
+    graph = backend(3)
+    with pytest.raises(ConfigurationError):
+        graph.add(1, 1)
+    with pytest.raises(ConfigurationError):
+        graph.add(0, 5)
+    with pytest.raises(ConfigurationError):
+        graph.conflicts(0, 9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_duplicate_pairs_counted_once(backend):
+    graph = backend(3, [(0, 1), (1, 0), (0, 1)])
+    assert graph.num_pairs() == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_neighbors_and_masks(backend):
+    graph = backend(4, [(0, 1), (0, 2)])
+    assert graph.neighbors(0) == frozenset({1, 2})
+    assert graph.neighbor_mask(0).tolist() == [False, True, True, False]
+    assert graph.conflict_mask([0]).tolist() == [False, True, True, False]
+    assert graph.conflict_mask([]).tolist() == [False] * 4
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_is_independent(backend):
+    graph = backend(4, [(0, 1)])
+    assert graph.is_independent([0, 2, 3])
+    assert not graph.is_independent([0, 1])
+    assert graph.is_independent([])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pairs_iteration_is_canonical(backend):
+    graph = backend(4, [(2, 3), (1, 0)])
+    assert sorted(graph.pairs()) == [(0, 1), (2, 3)]
+
+
+def test_conflict_ratio_matches_definition():
+    graph = DenseConflictGraph(4, [(0, 1), (2, 3), (0, 3)])
+    assert graph.conflict_ratio() == pytest.approx(3 / 6)
+
+
+def test_factory_picks_dense_for_small_instances():
+    graph = ConflictGraph(10, [(0, 1)])
+    assert isinstance(graph, DenseConflictGraph)
+
+
+def test_factory_honours_explicit_backend_choice():
+    graph = ConflictGraph(10, [(0, 1)], dense=False)
+    assert isinstance(graph, SparseConflictGraph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_events=st.integers(2, 12),
+    pair_seed=st.integers(0, 1000),
+    ratio=st.floats(0.0, 1.0),
+)
+def test_dense_and_sparse_backends_agree(num_events, pair_seed, ratio):
+    pairs = random_conflicts(num_events, ratio, seed=pair_seed)
+    dense = DenseConflictGraph(num_events, pairs)
+    sparse = SparseConflictGraph(num_events, pairs)
+    assert dense.num_pairs() == sparse.num_pairs()
+    assert sorted(dense.pairs()) == sorted(sparse.pairs())
+    for i in range(num_events):
+        assert dense.neighbors(i) == sparse.neighbors(i)
+        assert np.array_equal(dense.neighbor_mask(i), sparse.neighbor_mask(i))
+
+
+@pytest.mark.parametrize("ratio", [0.0, 0.25, 0.5, 0.75, 1.0])
+def test_random_conflicts_hits_target_ratio_exactly(ratio):
+    num_events = 20
+    pairs = random_conflicts(num_events, ratio, seed=1)
+    total = num_events * (num_events - 1) // 2
+    assert len(pairs) == round(ratio * total)
+    assert len(set(pairs)) == len(pairs)  # distinct
+    for i, j in pairs:
+        assert 0 <= i < j < num_events
+
+
+def test_random_conflicts_full_ratio_is_all_pairs():
+    pairs = random_conflicts(6, 1.0, seed=0)
+    assert sorted(pairs) == [(i, j) for i in range(6) for j in range(i + 1, 6)]
+
+
+def test_random_conflicts_validation():
+    with pytest.raises(ConfigurationError):
+        random_conflicts(5, 1.5)
+    with pytest.raises(ConfigurationError):
+        random_conflicts(0, 0.5)
+
+
+def test_random_conflicts_deterministic_in_seed():
+    assert random_conflicts(15, 0.3, seed=4) == random_conflicts(15, 0.3, seed=4)

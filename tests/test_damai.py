@@ -1,0 +1,117 @@
+"""The Damai-like real dataset: schema fidelity and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.damai import (
+    CATEGORIES,
+    DAYS_OF_WEEK,
+    FEATURE_DIM,
+    MAX_YES,
+    MIN_YES,
+    NUM_EVENTS,
+    NUM_USERS,
+    build_schema,
+    load_damai,
+)
+
+
+def test_catalogue_sizes_match_the_paper(damai):
+    assert damai.num_events == NUM_EVENTS == 50
+    assert len(damai.users) == NUM_USERS == 19
+    assert damai.dim == FEATURE_DIM == 20
+
+
+def test_schema_is_exactly_twenty_dimensional():
+    assert build_schema().dim == 20
+
+
+def test_table3_categories_and_subcategories():
+    assert set(CATEGORIES) == {
+        "Pop Concert",
+        "Theater",
+        "Sports",
+        "Folk Art",
+        "Music",
+        "Movie",
+    }
+    assert len(CATEGORIES["Movie"]) == 7
+    assert "cross talk" in CATEGORIES["Folk Art"]
+
+
+def test_every_event_uses_a_valid_subcategory(damai):
+    for event in damai.events:
+        assert event.subcategory in CATEGORIES[event.category]
+        assert event.day_of_week in DAYS_OF_WEEK
+
+
+def test_feature_matrix_shape_and_norm_bound(damai):
+    for user in damai.users[:3]:
+        matrix = damai.feature_matrix(user)
+        assert matrix.shape == (50, 20)
+        assert np.all(np.linalg.norm(matrix, axis=1) <= 1.0)
+        assert np.all(matrix >= 0.0)
+
+
+def test_feature_matrices_depend_on_the_user(damai):
+    """The distance column differs between users (contexts summarise both)."""
+    a = damai.feature_matrix(damai.users[0])
+    b = damai.feature_matrix(damai.users[1])
+    assert not np.allclose(a, b)
+    # Only the distance column (last) may differ.
+    assert np.allclose(a[:, :-1], b[:, :-1])
+
+
+def test_yes_counts_are_in_the_papers_range(damai):
+    for user in damai.users:
+        assert MIN_YES <= user.yes_count <= MAX_YES
+
+
+def test_feedback_is_deterministic_and_consistent(damai):
+    user = damai.users[0]
+    vector = damai.feedback_vector(user)
+    assert vector.sum() == user.yes_count
+    for event in damai.events:
+        assert bool(vector[event.event_id]) == user.accepts(event.event_id)
+
+
+def test_conflicts_come_from_time_overlap(damai):
+    for i, j in damai.conflicts.pairs():
+        assert damai.events[i].overlaps(damai.events[j])
+    # And all overlapping pairs are conflicts.
+    for i, first in enumerate(damai.events):
+        for second in damai.events[i + 1 :]:
+            if first.overlaps(second):
+                assert damai.conflicts.conflicts(
+                    first.event_id, second.event_id
+                )
+
+
+def test_dataset_is_deterministic_in_its_seed(damai):
+    again = load_damai()
+    assert [e.title for e in again.events] == [e.title for e in damai.events]
+    assert [u.yes_events for u in again.users] == [u.yes_events for u in damai.users]
+
+
+def test_other_seeds_give_schema_identical_variants():
+    other = load_damai(seed=7)
+    assert other.num_events == 50
+    assert other.dim == 20
+    assert [u.yes_count for u in other.users] != [
+        u.yes_count for u in load_damai().users
+    ]
+
+
+def test_preferred_tags_come_from_yes_events(damai):
+    for user in damai.users:
+        yes_tags = {
+            tag for e in user.yes_events for tag in damai.events[e].tags
+        }
+        assert user.preferred_tags == yes_tags
+
+
+def test_platform_events_have_unlimited_capacity(damai):
+    events = damai.platform_events()
+    assert len(events) == 50
+    assert all(np.isinf(e.capacity) for e in events)
+    assert all(e.tags for e in events)

@@ -1,0 +1,98 @@
+"""Dataset validators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.damai import load_damai
+from repro.datasets.synthetic import SyntheticConfig, SyntheticWorld, build_world
+from repro.datasets.validation import (
+    DatasetValidationError,
+    validate_damai,
+    validate_world,
+)
+
+
+def test_generated_world_validates(small_world):
+    passed = validate_world(small_world)
+    assert len(passed) >= 5
+
+
+def test_meetup_world_validates():
+    from repro.datasets.meetup import MeetupConfig, build_meetup_world
+
+    world = build_meetup_world(MeetupConfig(num_events=20, seed=1))
+    assert validate_world(world)
+
+
+def test_bad_theta_detected(small_world):
+    broken = SyntheticWorld(
+        small_world.config,
+        small_world.theta * 2.0,  # norm 2
+        small_world.capacities,
+        small_world.conflict_pairs,
+    )
+    with pytest.raises(DatasetValidationError, match="theta norm"):
+        validate_world(broken)
+
+
+def test_bad_capacities_detected(small_world):
+    broken = SyntheticWorld(
+        small_world.config,
+        small_world.theta,
+        small_world.capacities * 0.5,  # fractional
+        small_world.conflict_pairs,
+    )
+    with pytest.raises(DatasetValidationError):
+        validate_world(broken)
+
+
+def test_zero_capacity_detected(small_world):
+    capacities = small_world.capacities.copy()
+    capacities[0] = 0
+    broken = SyntheticWorld(
+        small_world.config, small_world.theta, capacities, small_world.conflict_pairs
+    )
+    with pytest.raises(DatasetValidationError, match="capacity"):
+        validate_world(broken)
+
+
+def test_canonical_damai_validates(damai):
+    passed = validate_damai(damai)
+    assert len(passed) == 4
+
+
+def test_other_seed_damai_validates():
+    assert validate_damai(load_damai(seed=99))
+
+
+def test_damai_with_wrong_user_count_detected(damai):
+    from repro.datasets.damai import DamaiDataset
+
+    broken = DamaiDataset(
+        damai.events, damai.users[:-1], damai.schema, damai.conflicts
+    )
+    with pytest.raises(DatasetValidationError, match="users"):
+        validate_damai(broken)
+
+
+def test_damai_with_spurious_conflict_detected(damai):
+    from repro.datasets.damai import DamaiDataset
+    from repro.ebsn.conflicts import ConflictGraph
+
+    # Add a conflict between two non-overlapping events.
+    non_overlapping = None
+    for i in range(50):
+        for j in range(i + 1, 50):
+            if not damai.events[i].overlaps(damai.events[j]):
+                non_overlapping = (i, j)
+                break
+        if non_overlapping:
+            break
+    pairs = list(damai.conflicts.pairs()) + [non_overlapping]
+    broken = DamaiDataset(
+        damai.events, damai.users, damai.schema, ConflictGraph(50, pairs)
+    )
+    with pytest.raises(DatasetValidationError, match="overlap"):
+        validate_damai(broken)

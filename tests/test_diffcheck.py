@@ -1,0 +1,107 @@
+"""Results-drift checking."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.diffcheck import (
+    Drift,
+    compare_results_dirs,
+    summarize_drift,
+)
+
+
+def write_results(directory, experiment, filename, header, rows):
+    exp_dir = directory / experiment
+    exp_dir.mkdir(parents=True, exist_ok=True)
+    lines = [",".join(header)] + [",".join(str(v) for v in row) for row in rows]
+    (exp_dir / filename).write_text("\n".join(lines) + "\n")
+
+
+def test_identical_dirs_have_no_drift(tmp_path):
+    for side in ("a", "b"):
+        write_results(
+            tmp_path / side, "fig1", "curve_x.csv", ["t", "UCB"], [[100, 0.5]]
+        )
+    drifts, problems = compare_results_dirs(tmp_path / "a", tmp_path / "b")
+    assert drifts == []
+    assert problems == []
+    assert "identical" in summarize_drift(drifts, problems)
+
+
+def test_value_drift_detected_and_ranked(tmp_path):
+    write_results(
+        tmp_path / "a", "fig1", "curve_x.csv", ["t", "UCB", "TS"],
+        [[100, 0.5, 0.1], [200, 0.6, 0.1]],
+    )
+    write_results(
+        tmp_path / "b", "fig1", "curve_x.csv", ["t", "UCB", "TS"],
+        [[100, 0.5, 0.2], [200, 0.6, 0.1]],
+    )
+    drifts, problems = compare_results_dirs(tmp_path / "a", tmp_path / "b")
+    assert problems == []
+    assert len(drifts) == 1
+    drift = drifts[0]
+    assert drift.column == "TS"
+    assert drift.step == "100"
+    assert drift.relative_change == pytest.approx(1.0)
+    assert "DRIFT" in summarize_drift(drifts, problems)
+
+
+def test_missing_experiment_and_file_reported(tmp_path):
+    write_results(tmp_path / "a", "fig1", "curve_x.csv", ["t", "U"], [[1, 1.0]])
+    write_results(tmp_path / "a", "fig2", "curve_y.csv", ["t", "U"], [[1, 1.0]])
+    write_results(tmp_path / "b", "fig1", "curve_z.csv", ["t", "U"], [[1, 1.0]])
+    drifts, problems = compare_results_dirs(tmp_path / "a", tmp_path / "b")
+    assert any("fig2 missing" in p for p in problems)
+    assert any("curve_x.csv missing" in p for p in problems)
+
+
+def test_timing_tables_are_skipped(tmp_path):
+    write_results(
+        tmp_path / "a", "tab5", "table_avg_time_sec_round.csv",
+        ["Algorithm", "V100"], [["UCB", 0.001]],
+    )
+    write_results(
+        tmp_path / "b", "tab5", "table_avg_time_sec_round.csv",
+        ["Algorithm", "V100"], [["UCB", 0.9]],
+    )
+    drifts, _ = compare_results_dirs(tmp_path / "a", tmp_path / "b")
+    assert drifts == []
+
+
+def test_non_numeric_cells_are_ignored(tmp_path):
+    write_results(
+        tmp_path / "a", "tab7", "table_x.csv", ["Algorithm", "u1"],
+        [["UCB", 0.9], ["note", "text"]],
+    )
+    write_results(
+        tmp_path / "b", "tab7", "table_x.csv", ["Algorithm", "u1"],
+        [["UCB", 0.9], ["note", "other"]],
+    )
+    drifts, problems = compare_results_dirs(tmp_path / "a", tmp_path / "b")
+    assert drifts == []
+
+
+def test_zero_baseline_drift_is_infinite(tmp_path):
+    drift = Drift("e", "f", "c", "1", baseline=0.0, candidate=1.0)
+    assert drift.relative_change == float("inf")
+    assert Drift("e", "f", "c", "1", 0.0, 0.0).relative_change == 0.0
+
+
+def test_missing_directories_raise(tmp_path):
+    with pytest.raises(ConfigurationError):
+        compare_results_dirs(tmp_path / "nope", tmp_path)
+    with pytest.raises(ConfigurationError):
+        compare_results_dirs(tmp_path, tmp_path / "nope")
+
+
+def test_real_rerun_is_drift_free(tmp_path):
+    """End-to-end: the same experiment run twice produces no drift."""
+    from repro.experiments.figures import figure2
+    from repro.experiments.reporting import save_result
+
+    save_result(figure2(horizon=150), tmp_path / "a")
+    save_result(figure2(horizon=150), tmp_path / "b")
+    drifts, problems = compare_results_dirs(tmp_path / "a", tmp_path / "b")
+    assert drifts == []
+    assert problems == []

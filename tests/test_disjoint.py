@@ -1,0 +1,103 @@
+"""Disjoint-model LinUCB (the no-sharing control)."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import UcbPolicy
+from repro.bandits.base import RoundView
+from repro.bandits.disjoint import DisjointUcbPolicy
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.users import User
+from repro.exceptions import ConfigurationError
+
+
+def make_view(contexts, capacity=2, time_step=1):
+    contexts = np.asarray(contexts, dtype=float)
+    return RoundView(
+        time_step=time_step,
+        user=User(user_id=0, capacity=capacity),
+        contexts=contexts,
+        remaining_capacities=np.ones(contexts.shape[0]),
+        conflicts=ConflictGraph(contexts.shape[0]),
+    )
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DisjointUcbPolicy(num_events=0, dim=3)
+    with pytest.raises(ConfigurationError):
+        DisjointUcbPolicy(num_events=3, dim=3, alpha=-1)
+    policy = DisjointUcbPolicy(num_events=3, dim=3)
+    with pytest.raises(ConfigurationError):
+        policy.model_for(5)
+    with pytest.raises(ConfigurationError):
+        policy.upper_confidence_bounds(np.ones((4, 3)))
+
+
+def test_models_are_independent():
+    policy = DisjointUcbPolicy(num_events=2, dim=2)
+    contexts = np.array([[1.0, 0.0], [1.0, 0.0]])  # identical contexts!
+    view = make_view(contexts)
+    # Only event 0 observes feedback.
+    for _ in range(30):
+        policy.observe(view, [0], [1.0])
+    scores = policy.predicted_scores(contexts)
+    # Event 0's model learned; event 1's did not — no generalisation.
+    assert scores[0] > 0.5
+    assert scores[1] == pytest.approx(0.0)
+
+
+def test_shared_model_generalises_where_disjoint_cannot():
+    """The paper's coupling argument, stated as a test."""
+    shared = UcbPolicy(dim=2, alpha=0.0)
+    disjoint = DisjointUcbPolicy(num_events=2, dim=2, alpha=0.0)
+    contexts = np.array([[1.0, 0.0], [0.9, 0.1]])
+    view = make_view(contexts)
+    for _ in range(30):
+        shared.observe(view, [0], [1.0])
+        disjoint.observe(view, [0], [1.0])
+    # Shared model predicts event 1 well from event 0's data alone.
+    assert shared.predicted_scores(contexts)[1] > 0.5
+    assert disjoint.predicted_scores(contexts)[1] == pytest.approx(0.0)
+
+
+def test_select_respects_constraints():
+    policy = DisjointUcbPolicy(num_events=4, dim=2)
+    contexts = np.random.default_rng(0).uniform(size=(4, 2))
+    view = RoundView(
+        time_step=1,
+        user=User(user_id=0, capacity=2),
+        contexts=contexts,
+        remaining_capacities=np.array([1.0, 0.0, 1.0, 1.0]),
+        conflicts=ConflictGraph(4, [(0, 2)]),
+    )
+    arrangement = policy.select(view)
+    assert len(arrangement) <= 2
+    assert 1 not in arrangement
+    assert not {0, 2} <= set(arrangement)
+
+
+def test_disjoint_learns_slower_on_a_world(small_world):
+    """At equal horizon, the shared model wins — the paper's coupling
+    explanation from the opposite direction."""
+    from repro.simulation.runner import run_policy
+
+    horizon = 800
+    shared = run_policy(
+        UcbPolicy(dim=4), small_world, horizon=horizon, run_seed=0
+    )
+    disjoint = run_policy(
+        DisjointUcbPolicy(num_events=12, dim=4),
+        small_world,
+        horizon=horizon,
+        run_seed=0,
+    )
+    assert shared.total_reward >= disjoint.total_reward
+
+
+def test_reset_clears_all_models():
+    policy = DisjointUcbPolicy(num_events=2, dim=2)
+    view = make_view(np.eye(2))
+    policy.observe(view, [0, 1], [1.0, 1.0])
+    policy.reset()
+    assert np.allclose(policy.predicted_scores(np.eye(2)), 0.0)

@@ -1,0 +1,138 @@
+"""Table 4 value distributions and normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.distributions import (
+    Normal,
+    Power,
+    Shuffle,
+    Uniform,
+    distribution_from_name,
+    sample_capacities,
+    sample_unit_theta,
+    unit_normalize_rows,
+)
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import make_rng
+
+
+def test_uniform_range():
+    draws = Uniform().sample(make_rng(0), 10_000)
+    assert draws.min() >= -1.0 and draws.max() <= 1.0
+    assert abs(draws.mean()) < 0.05
+
+
+def test_uniform_validation():
+    with pytest.raises(ConfigurationError):
+        Uniform(low=1.0, high=0.0)
+
+
+def test_normal_moments():
+    draws = Normal(mean=2.0, std=0.5).sample(make_rng(0), 20_000)
+    assert draws.mean() == pytest.approx(2.0, abs=0.02)
+    assert draws.std() == pytest.approx(0.5, abs=0.02)
+
+
+def test_normal_validation():
+    with pytest.raises(ConfigurationError):
+        Normal(std=0.0)
+
+
+def test_power_concentrates_near_one():
+    """The paper: Power values are 'generally large (closer to 1)'."""
+    draws = Power(exponent=2.0).sample(make_rng(0), 20_000)
+    assert draws.min() >= 0.0 and draws.max() <= 1.0
+    # Density (a+1) x^a with a=2 has mean (a+1)/(a+2) = 0.75.
+    assert draws.mean() == pytest.approx(0.75, abs=0.02)
+
+
+def test_power_validation():
+    with pytest.raises(ConfigurationError):
+        Power(exponent=-1.0)
+
+
+def test_shuffle_cycles_per_dimension():
+    """1st, 4th, ... uniform; 2nd normal mean 2/d; 3rd, 6th, ... power."""
+    shuffle = Shuffle(dim=6)
+    assert isinstance(shuffle.spec_for_dimension(0), Uniform)
+    normal = shuffle.spec_for_dimension(1)
+    assert isinstance(normal, Normal)
+    assert normal.mean == pytest.approx(2 / 6)
+    assert isinstance(shuffle.spec_for_dimension(2), Power)
+    assert isinstance(shuffle.spec_for_dimension(3), Uniform)
+
+
+def test_shuffle_sample_shape_and_marginals():
+    shuffle = Shuffle(dim=3)
+    draws = shuffle.sample(make_rng(0), (5000, 3))
+    assert draws.shape == (5000, 3)
+    assert draws[:, 0].min() >= -1.0  # uniform dimension
+    assert draws[:, 2].min() >= 0.0  # power dimension
+
+
+def test_shuffle_validation():
+    with pytest.raises(ConfigurationError):
+        Shuffle(dim=0)
+    with pytest.raises(ConfigurationError):
+        Shuffle(dim=3).sample(make_rng(0), (5, 4))
+    with pytest.raises(ConfigurationError):
+        Shuffle(dim=3).spec_for_dimension(3)
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [("uniform", Uniform), ("normal", Normal), ("power", Power), ("shuffle", Shuffle)],
+)
+def test_distribution_from_name(name, expected):
+    assert isinstance(distribution_from_name(name, dim=4), expected)
+
+
+def test_distribution_from_name_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        distribution_from_name("zipf", dim=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 10),
+    cols=st.integers(1, 10),
+    seed=st.integers(0, 1000),
+)
+def test_unit_normalize_rows_yields_unit_norms(rows, cols, seed):
+    matrix = np.random.default_rng(seed).normal(size=(rows, cols))
+    normalized = unit_normalize_rows(matrix)
+    norms = np.linalg.norm(normalized, axis=1)
+    assert np.all((np.abs(norms - 1.0) < 1e-12) | (norms == 0.0))
+
+
+def test_unit_normalize_keeps_zero_rows_zero():
+    matrix = np.array([[0.0, 0.0], [3.0, 4.0]])
+    normalized = unit_normalize_rows(matrix)
+    assert np.allclose(normalized[0], 0.0)
+    assert np.allclose(normalized[1], [0.6, 0.8])
+
+
+@pytest.mark.parametrize("name", ["uniform", "normal", "power"])
+def test_sample_unit_theta_has_unit_norm(name):
+    theta = sample_unit_theta(distribution_from_name(name, 8), 8, seed=3)
+    assert np.linalg.norm(theta) == pytest.approx(1.0)
+    assert theta.shape == (8,)
+
+
+def test_sample_capacities_properties():
+    capacities = sample_capacities(1000, mean=100.0, std=100.0, seed=0)
+    assert capacities.min() >= 1.0
+    assert np.all(capacities == np.rint(capacities))
+    assert 80 < capacities.mean() < 130  # clamping shifts the mean up a bit
+
+
+def test_sample_capacities_validation():
+    with pytest.raises(ConfigurationError):
+        sample_capacities(0, 10, 1)
+    with pytest.raises(ConfigurationError):
+        sample_capacities(5, -1, 1)
+    with pytest.raises(ConfigurationError):
+        sample_capacities(5, 10, 0)

@@ -1,0 +1,116 @@
+"""The binary categorical encoding of Table 3 / reference [26]."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.encoding import (
+    CategoricalEncoder,
+    CategoricalField,
+    FeatureSchema,
+    NumericField,
+    binary_encode,
+    code_width,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_paper_performer_codes():
+    """male <0,1>, female <1,0>, group <1,1> — verbatim from the paper."""
+    encoder = CategoricalEncoder(["male", "female", "group"])
+    assert encoder.encode("male") == (0, 1)
+    assert encoder.encode("female") == (1, 0)
+    assert encoder.encode("group") == (1, 1)
+
+
+def test_code_width_covers_all_values():
+    assert code_width(1) == 1
+    assert code_width(3) == 2
+    assert code_width(7) == 3
+    assert code_width(8) == 4  # index 8 needs 4 bits (all-zero unused)
+    assert code_width(11) == 4
+
+
+def test_code_width_validation():
+    with pytest.raises(ConfigurationError):
+        code_width(0)
+
+
+def test_binary_encode_msb_first():
+    assert binary_encode(5, 3) == (1, 0, 1)
+    assert binary_encode(1, 4) == (0, 0, 0, 1)
+
+
+def test_binary_encode_validation():
+    with pytest.raises(ConfigurationError):
+        binary_encode(0, 2)
+    with pytest.raises(ConfigurationError):
+        binary_encode(4, 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(num_values=st.integers(1, 40))
+def test_all_codes_distinct_and_nonzero(num_values):
+    encoder = CategoricalEncoder([f"v{i}" for i in range(num_values)])
+    codes = {encoder.encode(f"v{i}") for i in range(num_values)}
+    assert len(codes) == num_values
+    assert all(any(bit for bit in code) for code in codes)
+
+
+def test_encoder_rejects_unknown_and_duplicates():
+    encoder = CategoricalEncoder(["a", "b"])
+    with pytest.raises(ConfigurationError):
+        encoder.encode("c")
+    with pytest.raises(ConfigurationError):
+        CategoricalEncoder(["a", "a"])
+    with pytest.raises(ConfigurationError):
+        CategoricalEncoder([])
+
+
+def make_schema():
+    return FeatureSchema(
+        [
+            CategoricalField("color", ("red", "green", "blue")),
+            NumericField("size", 0.0, 1.0),
+        ]
+    )
+
+
+def test_schema_dim_is_sum_of_field_widths():
+    assert make_schema().dim == 3  # 2 bits + 1 numeric
+
+
+def test_schema_encode_concatenates_fields():
+    vector = make_schema().encode({"color": "green", "size": 0.5})
+    assert np.allclose(vector, [1, 0, 0.5])
+
+
+def test_schema_encode_normalized_divides_by_dim():
+    schema = make_schema()
+    vector = schema.encode_normalized({"color": "blue", "size": 1.0})
+    assert np.allclose(vector, np.array([1, 1, 1]) / 3)
+    assert np.linalg.norm(vector) <= 1.0
+
+
+def test_schema_missing_field_and_range_checks():
+    schema = make_schema()
+    with pytest.raises(ConfigurationError):
+        schema.encode({"color": "red"})
+    with pytest.raises(ConfigurationError):
+        schema.encode({"color": "red", "size": 2.0})
+
+
+def test_schema_field_slices_partition_the_vector():
+    slices = make_schema().field_slices()
+    assert slices["color"] == slice(0, 2)
+    assert slices["size"] == slice(2, 3)
+
+
+def test_schema_rejects_duplicate_names_and_empty():
+    with pytest.raises(ConfigurationError):
+        FeatureSchema(
+            [NumericField("x"), NumericField("x")]
+        )
+    with pytest.raises(ConfigurationError):
+        FeatureSchema([])

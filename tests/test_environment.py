@@ -1,0 +1,123 @@
+"""The FASEA environment: protocol, coupling, constraint enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import OptPolicy, RandomPolicy
+from repro.exceptions import CapacityError, ConfigurationError, ConflictError
+from repro.simulation.environment import FaseaEnvironment
+
+
+def test_round_protocol_must_alternate(small_world):
+    env = FaseaEnvironment(small_world, run_seed=0)
+    with pytest.raises(ConfigurationError):
+        env.commit([])
+    env.begin_round()
+    with pytest.raises(ConfigurationError):
+        env.begin_round()
+
+
+def test_view_exposes_the_revealed_quantities(small_world, small_config):
+    env = FaseaEnvironment(small_world, run_seed=0)
+    view = env.begin_round()
+    assert view.time_step == 1
+    assert view.contexts.shape == (small_config.num_events, small_config.dim)
+    assert np.allclose(np.linalg.norm(view.contexts, axis=1), 1.0)
+    assert 1 <= view.user.capacity <= 5
+    assert np.allclose(view.remaining_capacities, small_world.capacities)
+
+
+def test_common_random_numbers_across_policies(small_world):
+    """Two runs with the same run_seed see identical users/contexts/coins."""
+
+    def run_and_capture(policy):
+        env = FaseaEnvironment(small_world, run_seed=7)
+        captured = []
+        for _ in range(20):
+            view = env.begin_round()
+            arrangement = policy.select(view)
+            rewards, _ = env.commit(arrangement)
+            captured.append(
+                (view.user.capacity, view.contexts.copy(), tuple(arrangement))
+            )
+        return captured
+
+    first = run_and_capture(RandomPolicy(seed=0))
+    second = run_and_capture(OptPolicy(small_world.theta))
+    for (cap_a, ctx_a, _), (cap_b, ctx_b, _) in zip(first, second):
+        assert cap_a == cap_b
+        assert np.allclose(ctx_a, ctx_b)
+
+
+def test_feedback_coins_are_shared_across_policies(small_world):
+    """If two policies arrange the same event at step t, the outcome agrees."""
+
+    def outcomes(policy_seed):
+        env = FaseaEnvironment(small_world, run_seed=3)
+        results = {}
+        policy = OptPolicy(small_world.theta)  # deterministic arrangement
+        for t in range(1, 16):
+            view = env.begin_round()
+            arrangement = policy.select(view)
+            rewards, _ = env.commit(arrangement)
+            for event_id, reward in zip(arrangement, rewards):
+                results[(t, event_id)] = reward
+        return results
+
+    assert outcomes(0) == outcomes(1)
+
+
+def test_accepted_events_consume_capacity(small_world):
+    env = FaseaEnvironment(small_world, run_seed=0)
+    view = env.begin_round()
+    arrangement = OptPolicy(small_world.theta).select(view)
+    rewards, entry = env.commit(arrangement)
+    after = env.platform.store.remaining_capacities
+    for event_id, reward in zip(arrangement, rewards):
+        expected = small_world.capacities[event_id] - (1 if reward else 0)
+        assert after[event_id] == expected
+
+
+def test_commit_validates_against_the_platform(small_world):
+    env = FaseaEnvironment(small_world, run_seed=0)
+    view = env.begin_round()
+    # Find a conflicting pair to submit deliberately.
+    pair = next(iter(small_world.conflicts.pairs()), None)
+    if pair is None:
+        pytest.skip("no conflicts in this world")
+    if view.user.capacity < 2:
+        env.commit([])  # consume the round
+        view = env.begin_round()
+    with pytest.raises(ConflictError):
+        env.commit(list(pair))
+
+
+def test_rewards_follow_the_linear_payoff():
+    """Empirical accept frequency tracks clip(x^T theta, 0, 1)."""
+    from repro.datasets.synthetic import SyntheticConfig, build_world
+
+    world = build_world(
+        SyntheticConfig(
+            num_events=12,
+            horizon=1000,
+            dim=4,
+            capacity_mean=10_000.0,  # never exhausts -> plenty of trials
+            capacity_std=1.0,
+            conflict_ratio=0.0,
+            seed=0,
+        )
+    )
+    env = FaseaEnvironment(world, run_seed=0)
+    opt = OptPolicy(world.theta)
+    accepted = 0.0
+    expected = 0.0
+    variance = 0.0
+    for _ in range(1000):
+        view = env.begin_round()
+        arrangement = opt.select(view)
+        probs = world.accept_probabilities(view.contexts)
+        rewards, _ = env.commit(arrangement)
+        accepted += sum(rewards)
+        expected += float(sum(probs[v] for v in arrangement))
+        variance += float(sum(probs[v] * (1 - probs[v]) for v in arrangement))
+    assert abs(accepted - expected) < 4.0 * np.sqrt(variance)

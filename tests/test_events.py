@@ -1,0 +1,98 @@
+"""Event records and the capacity-tracking EventStore."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ebsn.events import Event, EventStore
+from repro.exceptions import CapacityError, ConfigurationError, UnknownEventError
+
+
+def test_event_validation():
+    with pytest.raises(ConfigurationError):
+        Event(event_id=-1, capacity=1)
+    with pytest.raises(ConfigurationError):
+        Event(event_id=0, capacity=-1)
+    with pytest.raises(ConfigurationError):
+        Event(event_id=0, capacity=float("nan"))
+
+
+def test_store_requires_dense_ids():
+    with pytest.raises(ConfigurationError):
+        EventStore([Event(0, 1), Event(2, 1)])
+    with pytest.raises(ConfigurationError):
+        EventStore([])
+
+
+def test_store_orders_events_by_id():
+    store = EventStore([Event(1, 5), Event(0, 3)])
+    assert [e.event_id for e in store] == [0, 1]
+    assert store[0].capacity == 3
+
+
+def test_from_capacities_roundtrip():
+    store = EventStore.from_capacities([2, 4, 1])
+    assert len(store) == 3
+    assert np.allclose(store.initial_capacities, [2, 4, 1])
+    assert np.allclose(store.remaining_capacities, [2, 4, 1])
+
+
+def test_register_decrements_and_full_events_reject():
+    store = EventStore.from_capacities([1, 2])
+    store.register(0)
+    assert store.remaining(0) == 0
+    assert not store.is_available(0)
+    with pytest.raises(CapacityError):
+        store.register(0)
+    assert store.is_available(1)
+
+
+def test_release_returns_a_slot_and_guards_overflow():
+    store = EventStore.from_capacities([1])
+    store.register(0)
+    store.release(0)
+    assert store.remaining(0) == 1
+    with pytest.raises(CapacityError):
+        store.release(0)
+
+
+def test_unknown_event_ids_raise():
+    store = EventStore.from_capacities([1])
+    with pytest.raises(UnknownEventError):
+        store.register(5)
+    with pytest.raises(UnknownEventError):
+        store[5]
+    with pytest.raises(UnknownEventError):
+        store.remaining(-1)
+
+
+def test_available_mask_and_counts():
+    store = EventStore.from_capacities([1, 1, 2])
+    store.register(0)
+    assert store.num_available() == 2
+    assert store.available_mask().tolist() == [False, True, True]
+    assert store.total_remaining() == 3
+
+
+def test_unlimited_capacity_never_exhausts():
+    store = EventStore.with_unlimited_capacity(2)
+    for _ in range(100):
+        store.register(0)
+    assert store.is_available(0)
+    assert math.isinf(store.total_remaining())
+
+
+def test_reset_restores_initial_capacities():
+    store = EventStore.from_capacities([2, 2])
+    store.register(0)
+    store.register(0)
+    store.reset()
+    assert np.allclose(store.remaining_capacities, [2, 2])
+
+
+def test_remaining_capacities_returns_a_copy():
+    store = EventStore.from_capacities([2])
+    snapshot = store.remaining_capacities
+    snapshot[0] = 0
+    assert store.remaining(0) == 2

@@ -1,0 +1,37 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    ConflictError,
+    LedgerError,
+    NotFittedError,
+    ReproError,
+    UnknownEventError,
+)
+
+ALL_ERRORS = [
+    CapacityError,
+    ConfigurationError,
+    ConflictError,
+    LedgerError,
+    NotFittedError,
+    UnknownEventError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+
+
+def test_unknown_event_is_also_a_key_error():
+    assert issubclass(UnknownEventError, KeyError)
+
+
+def test_catching_the_base_class_catches_everything():
+    for error_type in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise error_type("boom")

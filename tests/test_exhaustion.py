@@ -1,0 +1,97 @@
+"""Behaviour at and after full capacity exhaustion.
+
+The paper's regret curves hinge on what happens when events run out;
+these tests pin the mechanics: empty arrangements are legal, runs
+continue gracefully, and no policy can squeeze rewards out of an empty
+catalogue.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bandits import OptPolicy, RandomPolicy, UcbPolicy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.simulation.fleet import run_policy_fleet
+from repro.simulation.runner import run_policy
+
+
+@pytest.fixture(scope="module")
+def tiny_capacity_world():
+    """Total capacity ~ 12 slots; exhausted within a few dozen rounds."""
+    return build_world(
+        SyntheticConfig(
+            num_events=6,
+            horizon=300,
+            dim=3,
+            capacity_mean=2.0,
+            capacity_std=1.0,
+            conflict_ratio=0.0,
+            seed=1,
+        )
+    )
+
+
+def test_total_rewards_capped_by_total_capacity(tiny_capacity_world):
+    for policy in (OptPolicy(tiny_capacity_world.theta), RandomPolicy(seed=0)):
+        history = run_policy(policy, tiny_capacity_world, run_seed=0)
+        assert history.total_reward <= tiny_capacity_world.capacities.sum()
+
+
+def test_rounds_continue_after_exhaustion(tiny_capacity_world):
+    history = run_policy(
+        OptPolicy(tiny_capacity_world.theta), tiny_capacity_world, run_seed=0
+    )
+    assert history.horizon == 300  # the run did not abort
+    # The tail arranges nothing once every event is full.
+    assert history.arranged[-50:].sum() == 0
+    assert history.rewards[-50:].sum() == 0
+
+
+def test_cumulative_accept_ratio_is_stable_after_exhaustion(tiny_capacity_world):
+    history = run_policy(
+        OptPolicy(tiny_capacity_world.theta), tiny_capacity_world, run_seed=0
+    )
+    late = history.accept_ratio_at([250, 300])
+    assert late[0] == pytest.approx(late[1])
+
+
+def test_windowed_ratio_drops_to_zero_after_exhaustion(tiny_capacity_world):
+    history = run_policy(
+        OptPolicy(tiny_capacity_world.theta), tiny_capacity_world, run_seed=0
+    )
+    windowed = history.windowed_accept_ratio(window=20)
+    assert windowed[-1] == 0.0
+    assert windowed.max() > 0.0
+
+
+def test_learners_keep_models_consistent_through_exhaustion(tiny_capacity_world):
+    """UCB's model updates stop (nothing arranged) but stay queryable."""
+    ucb = UcbPolicy(dim=3)
+    history = run_policy(ucb, tiny_capacity_world, run_seed=0)
+    scores = ucb.predicted_scores(np.eye(3))
+    assert np.all(np.isfinite(scores))
+    assert history.horizon == 300
+
+
+def test_fleet_handles_exhaustion_per_policy(tiny_capacity_world):
+    fleet = run_policy_fleet(
+        {"OPT": OptPolicy(tiny_capacity_world.theta), "Random": RandomPolicy(seed=0)},
+        tiny_capacity_world,
+        horizon=300,
+    )
+    for history in fleet.values():
+        assert history.total_reward <= tiny_capacity_world.capacities.sum()
+        assert history.horizon == 300
+
+
+def test_regret_plateau_detected_on_exhausted_run(tiny_capacity_world):
+    from repro.analysis import detect_plateau
+
+    history = run_policy(
+        OptPolicy(tiny_capacity_world.theta), tiny_capacity_world, run_seed=0
+    )
+    plateau = detect_plateau(
+        history.cumulative_rewards(), window=50, tolerance=0.01
+    )
+    assert plateau is not None
+    assert plateau < 250

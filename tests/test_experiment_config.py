@@ -1,0 +1,91 @@
+"""Experiment-config helpers: scales, suite plumbing, metric curves."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import (
+    base_config,
+    compare_policies,
+    metric_curves,
+    scaled_capacity,
+    scaled_num_events,
+)
+
+
+def test_base_config_paper_scale():
+    config = base_config("paper", seed=3)
+    assert config.num_events == 500
+    assert config.horizon == 100_000
+    assert config.seed == 3
+
+
+def test_base_config_scaled_scale():
+    config = base_config("scaled", seed=3)
+    assert config.num_events == 100
+    assert config.horizon == 10_000
+    assert (config.capacity_mean, config.capacity_std) == (90.0, 45.0)
+
+
+def test_base_config_rejects_unknown_scale():
+    with pytest.raises(ConfigurationError):
+        base_config("enormous")
+
+
+def test_scaled_num_events_mapping():
+    assert scaled_num_events("paper", 1000) == 1000
+    assert scaled_num_events("scaled", 1000) == 200
+    assert scaled_num_events("scaled", 100) == 20
+    assert scaled_num_events("scaled", 5) == 2  # floor of 2
+
+
+def test_scaled_capacity_mapping():
+    assert scaled_capacity("paper", 500, 200) == (500, 200)
+    mean, std = scaled_capacity("scaled", 500, 200)
+    assert mean == pytest.approx(225.0)
+    assert std == pytest.approx(90.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    config = base_config("scaled", seed=0).with_overrides(
+        num_events=15, horizon=200, dim=3, capacity_mean=10.0, capacity_std=4.0
+    )
+    return compare_policies(config, horizon=200, policy_names=("UCB", "Random"))
+
+
+def test_suite_contains_opt_and_policies(tiny_suite):
+    assert set(tiny_suite.policies) == {"UCB", "Random"}
+    assert tiny_suite.opt.policy_name == "OPT"
+    all_histories = tiny_suite.all_histories()
+    assert set(all_histories) == {"UCB", "Random", "OPT"}
+
+
+def test_suite_checkpoints_cover_the_horizon(tiny_suite):
+    assert tiny_suite.checkpoints[-1] == 200
+    assert all(1 <= t <= 200 for t in tiny_suite.checkpoints)
+
+
+def test_metric_curves_shapes_and_membership(tiny_suite):
+    curves = metric_curves(tiny_suite)
+    assert set(curves) == {
+        "accept_ratio",
+        "total_rewards",
+        "total_regrets",
+        "regret_ratio",
+    }
+    n = len(tiny_suite.checkpoints)
+    for metric, series in curves.items():
+        for label, values in series.items():
+            assert len(values) == n, (metric, label)
+    assert "OPT" in curves["accept_ratio"]
+    assert "OPT" not in curves["total_regrets"]
+
+
+def test_metric_curves_regret_consistency(tiny_suite):
+    """Regret curves equal OPT rewards minus policy rewards pointwise."""
+    curves = metric_curves(tiny_suite)
+    opt_rewards = np.asarray(curves["total_rewards"]["OPT"])
+    ucb_rewards = np.asarray(curves["total_rewards"]["UCB"])
+    ucb_regrets = np.asarray(curves["total_regrets"]["UCB"])
+    assert np.allclose(ucb_regrets, opt_rewards - ucb_rewards)

@@ -1,0 +1,159 @@
+"""Experiment registry + smoke runs of each figure/table at tiny sizes.
+
+These tests verify the harness plumbing (every experiment runs end to
+end and produces well-formed results); the scientific assertions live
+in test_paper_findings.py and EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments import figures, tables
+
+
+def test_registry_covers_every_paper_artifact():
+    ids = list_experiments()
+    assert ids == (
+        [f"fig{i}" for i in range(1, 14)] + ["tab5", "tab6", "tab7", "mab", "ext"]
+    )
+
+
+def test_get_experiment_rejects_unknown_ids():
+    with pytest.raises(ConfigurationError):
+        get_experiment("fig99")
+
+
+def _assert_curves_well_formed(result):
+    assert result.checkpoints
+    for metric, series in result.curves.items():
+        for label, values in series.items():
+            assert len(values) == len(result.checkpoints), (metric, label)
+
+
+@pytest.mark.parametrize("figure_id", ["fig1", "fig2"])
+def test_default_setting_figures_smoke(figure_id):
+    result = EXPERIMENTS[figure_id](scale="scaled", horizon=300)
+    assert result.experiment_id == figure_id
+    _assert_curves_well_formed(result)
+
+
+def test_figure1_has_all_four_metrics():
+    result = figures.figure1(horizon=300)
+    assert set(result.curves) == {
+        "accept_ratio",
+        "total_rewards",
+        "total_regrets",
+        "regret_ratio",
+    }
+    assert "OPT" in result.curves["accept_ratio"]
+    assert "OPT" not in result.curves["total_regrets"]
+
+
+def test_figure2_taus_are_bounded():
+    result = figures.figure2(horizon=300)
+    for values in result.curves["kendall_tau"].values():
+        assert np.all(np.abs(np.asarray(values)) <= 1.0)
+
+
+def test_figure4_sweeps_dimensions():
+    result = figures.figure4(horizon=200, dims=(1, 3))
+    labels = set(result.curves["accept_ratio"])
+    assert any("d=1" in label for label in labels)
+    assert any("d=3" in label for label in labels)
+    _assert_curves_well_formed(result)
+
+
+def test_figure7_sweeps_conflict_ratios():
+    result = figures.figure7(horizon=200, ratios=(0.0, 1.0))
+    labels = set(result.curves["accept_ratio"])
+    assert any("cr=0" in label for label in labels)
+    assert any("cr=1" in label for label in labels)
+
+
+def test_figure8_sweeps_lambda():
+    result = figures.figure8(horizon=200, lams=(0.5, 2.0))
+    labels = set(result.curves["total_regrets"])
+    assert any("lam=0.5" in label for label in labels)
+    assert not any("Random" in label for label in labels)  # lambda-free
+
+
+def test_figure9_sweeps_per_algorithm_parameters():
+    result = figures.figure9(horizon=200)
+    labels = set(result.curves["total_regrets"])
+    assert any(label.startswith("UCB alpha=") for label in labels)
+    assert any(label.startswith("TS delta=") for label in labels)
+    assert any(label.startswith("eGreedy epsilon=") for label in labels)
+
+
+def test_figure10_real_data_smoke():
+    result = figures.figure10(accept_horizon=100, regret_horizon=200)
+    _assert_curves_well_formed(result)
+    labels = set(result.curves["total_regrets"])
+    assert any("cu=5" in label for label in labels)
+    assert any("cu=full" in label for label in labels)
+
+
+def test_figure11_basic_mode_smoke():
+    result = figures.figure11(horizon=200)
+    _assert_curves_well_formed(result)
+    assert "total_regrets" in result.curves
+
+
+def test_table5_orders_and_grows(small_config):
+    result = tables.table5(
+        scale="scaled", rounds=10, num_events_values=(10, 30)
+    )
+    time_table = result.tables[0]
+    assert time_table.headers == ["Algorithm", "|V|=10", "|V|=30"]
+    by_name = {row[0]: row[1:] for row in time_table.rows}
+    assert set(by_name) == {"UCB", "TS", "eGreedy", "Exploit", "Random"}
+    # Random is the cheapest at every size.
+    for column in range(2):
+        assert by_name["Random"][column] == min(
+            values[column] for values in by_name.values()
+        )
+
+
+def test_table6_smoke():
+    result = tables.table6(scale="scaled", rounds=5, dims=(1, 4))
+    assert len(result.tables) == 2
+    assert result.tables[0].headers == ["Algorithm", "d=1", "d=4"]
+
+
+def test_mab_experiment_ts_wins_there():
+    from repro.experiments.extras import mab_experiment
+
+    result = mab_experiment(horizon=3000)
+    regrets = result.curves["cumulative_regret"]
+    assert regrets["TS-Beta"][-1] < regrets["Random-MAB"][-1]
+    assert regrets["UCB1"][-1] < regrets["Random-MAB"][-1]
+    _assert_curves_well_formed(result)
+
+
+def test_extensions_experiment_per_user_wins():
+    from repro.experiments.extras import extensions_experiment
+
+    result = extensions_experiment(horizon=600)
+    remark1 = result.tables[0]
+    ratios = {row[0]: row[1] for row in remark1.rows}
+    assert ratios["per-user UCB pool"] > ratios["shared UCB"]
+    remark2 = result.tables[1]
+    dynamic = {row[0]: row[1] for row in remark2.rows}
+    assert dynamic["UCB"] > dynamic["Random"]
+
+
+def test_table7_smoke(damai):
+    result = tables.table7(horizon=30)
+    assert len(result.tables) == 2
+    cu5 = result.tables[0]
+    assert len(cu5.headers) == 20  # Algorithm + 19 users
+    names = [row[0] for row in cu5.rows]
+    assert names == ["UCB", "TS", "eGreedy", "Exploit", "Random", "Full Kn.", "Online[39]"]
+    cu_full = result.tables[1]
+    assert [row[0] for row in cu_full.rows][-1] == "c_u"
+    # Every ratio cell is a valid ratio.
+    for row in cu5.rows:
+        for cell in row[1:]:
+            assert 0.0 <= float(cell) <= 1.0

@@ -1,0 +1,77 @@
+"""Dataset export/import round trips."""
+
+import csv
+import json
+
+import pytest
+
+from repro.datasets.export import export_damai, read_event_table
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory, damai_module):
+    directory = tmp_path_factory.mktemp("damai_export")
+    return export_damai(damai_module, directory), damai_module
+
+
+@pytest.fixture(scope="module")
+def damai_module():
+    from repro.datasets.damai import load_damai
+
+    return load_damai()
+
+
+def test_all_files_written(exported):
+    paths, _ = exported
+    assert set(paths) == {
+        "events",
+        "users",
+        "feedback",
+        "conflicts",
+        "features_u1",
+        "manifest",
+    }
+    for path in paths.values():
+        assert path.exists()
+
+
+def test_event_table_round_trips(exported):
+    paths, dataset = exported
+    rows = read_event_table(paths["events"])
+    assert len(rows) == 50
+    assert rows[0]["title"] == dataset.events[0].title
+    assert rows[7]["category"] == dataset.events[7].category
+    assert float(rows[3]["start_hour"]) == dataset.events[3].start_hour
+
+
+def test_feedback_matrix_matches_the_dataset(exported):
+    paths, dataset = exported
+    with paths["feedback"].open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert len(rows) == 20  # header + 19 users
+    for row, user in zip(rows[1:], dataset.users):
+        values = [int(v) for v in row[1:]]
+        assert sum(values) == user.yes_count
+
+
+def test_conflicts_file_matches_the_graph(exported):
+    paths, dataset = exported
+    with paths["conflicts"].open(newline="") as handle:
+        rows = list(csv.reader(handle))[1:]
+    pairs = {(int(i), int(j)) for i, j in rows}
+    assert pairs == set(dataset.conflicts.pairs())
+
+
+def test_manifest_describes_the_bundle(exported):
+    paths, dataset = exported
+    manifest = json.loads(paths["manifest"].read_text())
+    assert manifest["num_events"] == 50
+    assert manifest["num_users"] == 19
+    assert manifest["dim"] == 20
+    assert manifest["conflict_pairs"] == dataset.conflicts.num_pairs()
+
+
+def test_read_event_table_missing_file(tmp_path):
+    with pytest.raises(ConfigurationError):
+        read_event_table(tmp_path / "missing.csv")

@@ -1,0 +1,141 @@
+"""The Remark 1 / Remark 2 extensions."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import RandomPolicy, UcbPolicy
+from repro.bandits.base import RoundView
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.users import User
+from repro.exceptions import ConfigurationError
+from repro.extensions import (
+    DynamicEventSchedule,
+    PerUserPolicyPool,
+    run_dynamic_policy,
+)
+
+
+def make_view(user_id, contexts):
+    return RoundView(
+        time_step=1,
+        user=User(user_id=user_id, capacity=1),
+        contexts=contexts,
+        remaining_capacities=np.ones(contexts.shape[0]),
+        conflicts=ConflictGraph(contexts.shape[0]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Remark 1: per-user models
+# ----------------------------------------------------------------------
+def test_pool_creates_one_policy_per_user():
+    pool = PerUserPolicyPool(lambda user_id: UcbPolicy(dim=2))
+    contexts = np.array([[1.0, 0.0], [0.0, 1.0]])
+    pool.select(make_view(0, contexts))
+    pool.select(make_view(1, contexts))
+    pool.select(make_view(0, contexts))
+    assert pool.num_users_seen == 2
+    assert pool.policy_for(0) is not pool.policy_for(1)
+
+
+def test_pool_routes_observations_to_the_right_user():
+    pool = PerUserPolicyPool(lambda user_id: UcbPolicy(dim=2))
+    contexts = np.array([[1.0, 0.0], [0.0, 1.0]])
+    view0 = make_view(0, contexts)
+    view1 = make_view(1, contexts)
+    # User 0 loves event 0; user 1 loves event 1.
+    for _ in range(30):
+        pool.observe(view0, [0], [1.0])
+        pool.observe(view0, [1], [0.0])
+        pool.observe(view1, [0], [0.0])
+        pool.observe(view1, [1], [1.0])
+    scores0 = pool.policy_for(0).predicted_scores(contexts)
+    scores1 = pool.policy_for(1).predicted_scores(contexts)
+    assert scores0[0] > scores0[1]
+    assert scores1[1] > scores1[0]
+
+
+def test_pool_reset_drops_all_users():
+    pool = PerUserPolicyPool(lambda user_id: UcbPolicy(dim=2))
+    pool.select(make_view(0, np.eye(2)))
+    pool.reset()
+    assert pool.num_users_seen == 0
+
+
+def test_pool_predicted_scores_before_any_user_is_zero():
+    pool = PerUserPolicyPool(lambda user_id: UcbPolicy(dim=2))
+    assert np.allclose(pool.predicted_scores(np.eye(2)), 0.0)
+
+
+# ----------------------------------------------------------------------
+# Remark 2: dynamic event sets
+# ----------------------------------------------------------------------
+def test_round_robin_masks_partition_events():
+    schedule = DynamicEventSchedule.round_robin(
+        num_events=10, num_phases=3, phase_length=5
+    )
+    union = np.zeros(10, dtype=bool)
+    for mask in schedule.masks:
+        union |= mask
+    assert union.all()
+    assert schedule.active_mask(1).tolist() == schedule.masks[0].tolist()
+    assert schedule.active_mask(6).tolist() == schedule.masks[1].tolist()
+    assert schedule.active_mask(16).tolist() == schedule.masks[0].tolist()
+
+
+def test_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        DynamicEventSchedule(masks=(), phase_length=1)
+    with pytest.raises(ConfigurationError):
+        DynamicEventSchedule(
+            masks=(np.zeros(3, dtype=bool),), phase_length=1
+        )
+    with pytest.raises(ConfigurationError):
+        DynamicEventSchedule.round_robin(num_events=3, num_phases=4, phase_length=1)
+    schedule = DynamicEventSchedule.round_robin(4, 2, 2)
+    with pytest.raises(ConfigurationError):
+        schedule.active_mask(0)
+
+
+def test_dynamic_runner_only_arranges_active_events(small_world):
+    schedule = DynamicEventSchedule.round_robin(
+        num_events=small_world.config.num_events, num_phases=2, phase_length=3
+    )
+
+    class Probe(RandomPolicy):
+        def __init__(self):
+            super().__init__(seed=0)
+            self.violations = 0
+            self.step = 0
+
+        def select(self, view):
+            self.step += 1
+            arrangement = super().select(view)
+            mask = schedule.active_mask(self.step)
+            self.violations += sum(not mask[v] for v in arrangement)
+            return arrangement
+
+    probe = Probe()
+    history = run_dynamic_policy(probe, small_world, schedule, horizon=30)
+    assert probe.violations == 0
+    assert history.horizon == 30
+
+
+def test_dynamic_runner_validates_event_counts(small_world):
+    schedule = DynamicEventSchedule.round_robin(5, 2, 2)
+    with pytest.raises(ConfigurationError):
+        run_dynamic_policy(RandomPolicy(seed=0), small_world, schedule, horizon=5)
+
+
+def test_dynamic_ucb_still_learns(small_world):
+    schedule = DynamicEventSchedule.round_robin(
+        num_events=small_world.config.num_events, num_phases=2, phase_length=10
+    )
+    ucb = run_dynamic_policy(
+        UcbPolicy(dim=4), small_world, schedule, horizon=150, run_seed=0
+    )
+    random_history = run_dynamic_policy(
+        RandomPolicy(seed=0), small_world, schedule, horizon=150, run_seed=0
+    )
+    assert ucb.total_reward > random_history.total_reward

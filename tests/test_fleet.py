@@ -1,0 +1,72 @@
+"""Fleet runner: equivalence with individual runs, and pairing."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import OptPolicy, RandomPolicy, UcbPolicy, make_policy
+from repro.exceptions import ConfigurationError
+from repro.simulation.fleet import run_policy_fleet
+from repro.simulation.runner import run_policy
+
+
+def test_fleet_matches_individual_runs_exactly(small_world):
+    """Bit-for-bit equivalence with run_policy on the same seed."""
+    fleet = run_policy_fleet(
+        {
+            "UCB": UcbPolicy(dim=4),
+            "Random": RandomPolicy(seed=9),
+            "OPT": OptPolicy(small_world.theta),
+        },
+        small_world,
+        horizon=80,
+        run_seed=5,
+    )
+    for name, policy in [
+        ("UCB", UcbPolicy(dim=4)),
+        ("Random", RandomPolicy(seed=9)),
+        ("OPT", OptPolicy(small_world.theta)),
+    ]:
+        individual = run_policy(policy, small_world, horizon=80, run_seed=5)
+        assert np.array_equal(fleet[name].rewards, individual.rewards), name
+        assert np.array_equal(fleet[name].arranged, individual.arranged), name
+
+
+def test_fleet_histories_carry_the_dict_names(small_world):
+    fleet = run_policy_fleet(
+        {"ucb-a1": UcbPolicy(dim=4, alpha=1.0), "ucb-a2": UcbPolicy(dim=4, alpha=2.0)},
+        small_world,
+        horizon=30,
+    )
+    assert fleet["ucb-a1"].policy_name == "ucb-a1"
+    assert fleet["ucb-a2"].policy_name == "ucb-a2"
+
+
+def test_fleet_kendall_tracking(small_world):
+    fleet = run_policy_fleet(
+        {"UCB": UcbPolicy(dim=4)},
+        small_world,
+        horizon=60,
+        track_kendall=True,
+        kendall_checkpoints=[20, 60],
+    )
+    history = fleet["UCB"]
+    assert history.kendall_steps.tolist() == [20, 60]
+    assert history.kendall_taus.shape == (2,)
+
+
+def test_fleet_requires_policies(small_world):
+    with pytest.raises(ConfigurationError):
+        run_policy_fleet({}, small_world, horizon=10)
+
+
+def test_fleet_capacities_evolve_independently(small_world):
+    """OPT may exhaust an event that Random never touches."""
+    fleet = run_policy_fleet(
+        {"OPT": OptPolicy(small_world.theta), "Random": RandomPolicy(seed=0)},
+        small_world,
+        horizon=150,
+    )
+    # Both respected their own capacity accounting.
+    assert fleet["OPT"].total_reward <= small_world.capacities.sum()
+    assert fleet["Random"].total_reward <= small_world.capacities.sum()
+    assert fleet["OPT"].total_reward != fleet["Random"].total_reward

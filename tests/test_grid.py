@@ -1,0 +1,72 @@
+"""Parameter-grid sweeps."""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid import best_policy_per_cell, expand_grid, sweep
+
+
+def test_expand_grid_cartesian_product():
+    grid = expand_grid({"dim": [1, 5], "conflict_ratio": [0.0, 1.0]})
+    assert len(grid) == 4
+    assert {"dim": 1, "conflict_ratio": 1.0} in grid
+
+
+def test_expand_grid_single_axis_preserves_order():
+    grid = expand_grid({"dim": [15, 1, 5]})
+    assert [g["dim"] for g in grid] == [15, 1, 5]
+
+
+def test_expand_grid_validation():
+    with pytest.raises(ConfigurationError):
+        expand_grid({})
+    with pytest.raises(ConfigurationError):
+        expand_grid({"dim": []})
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = SyntheticConfig(
+        num_events=15,
+        horizon=300,
+        dim=3,
+        # Ample capacities: no exhaustion, so regret gaps stay visible
+        # in every cell (with tiny capacities all policies end tied).
+        capacity_mean=500.0,
+        capacity_std=10.0,
+        seed=0,
+    )
+    return sweep(
+        base,
+        axes={"conflict_ratio": [0.0, 1.0]},
+        policy_names=("UCB", "Random"),
+    )
+
+
+def test_sweep_covers_every_cell(small_sweep):
+    assert len(small_sweep) == 2
+    ratios = {dict(cell.overrides)["conflict_ratio"] for cell in small_sweep}
+    assert ratios == {0.0, 1.0}
+
+
+def test_sweep_records_all_policies(small_sweep):
+    for cell in small_sweep:
+        assert set(cell.accept_ratios) == {"OPT", "UCB", "Random"}
+        assert set(cell.total_regrets) == {"UCB", "Random"}
+
+
+def test_sweep_ucb_beats_random_everywhere(small_sweep):
+    for cell in small_sweep:
+        assert cell.total_regrets["UCB"] < cell.total_regrets["Random"]
+
+
+def test_best_policy_per_cell(small_sweep):
+    best = best_policy_per_cell(small_sweep)
+    assert set(best.values()) == {"UCB"}
+    assert len(best) == 2
+
+
+def test_override_dict_round_trip(small_sweep):
+    cell = small_sweep[0]
+    assert cell.override_dict() == dict(cell.overrides)

@@ -1,0 +1,103 @@
+"""History metrics and checkpoint grids."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.history import History, default_checkpoints
+
+
+def make_history(rewards, arranged, name="p"):
+    return History(policy_name=name, rewards=rewards, arranged=arranged)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        make_history([1, 2], [1])
+
+
+def test_scalar_metrics():
+    history = make_history([1, 0, 2], [2, 1, 3])
+    assert history.horizon == 3
+    assert history.total_reward == 3
+    assert history.overall_accept_ratio == pytest.approx(3 / 6)
+
+
+def test_accept_ratio_is_cumulative():
+    history = make_history([1, 0, 1, 1], [1, 1, 1, 1])
+    ratios = history.accept_ratio_at([1, 2, 4])
+    assert np.allclose(ratios, [1.0, 0.5, 0.75])
+
+
+def test_accept_ratio_zero_when_nothing_arranged():
+    history = make_history([0, 0], [0, 0])
+    assert np.allclose(history.accept_ratio_at([1, 2]), 0.0)
+
+
+def test_regret_against_reference():
+    policy = make_history([0, 1, 1], [1, 1, 1])
+    reference = make_history([1, 1, 1], [1, 1, 1], name="OPT")
+    assert np.allclose(policy.regret_at(reference, [1, 2, 3]), [1, 1, 1])
+
+
+def test_regret_ratio():
+    policy = make_history([1, 1], [1, 1])
+    reference = make_history([2, 2], [1, 1])
+    assert np.allclose(policy.regret_ratio_at(reference, [1, 2]), [1.0, 1.0])
+
+
+def test_regret_requires_matching_horizons():
+    with pytest.raises(ConfigurationError):
+        make_history([1], [1]).regret_at(make_history([1, 1], [1, 1]), [1])
+
+
+def test_checkpoint_bounds_validated():
+    history = make_history([1, 1], [1, 1])
+    with pytest.raises(ConfigurationError):
+        history.rewards_at([0])
+    with pytest.raises(ConfigurationError):
+        history.rewards_at([3])
+    with pytest.raises(ConfigurationError):
+        history.rewards_at([])
+
+
+def test_default_checkpoints_match_the_papers_grid():
+    points = default_checkpoints(100_000)
+    assert points[:10] == [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+    assert points[10] == 2000
+    assert points[-1] == 100_000
+    assert all(a < b for a, b in zip(points, points[1:]))
+
+
+def test_default_checkpoints_small_horizons():
+    assert default_checkpoints(50)[-1] == 50
+    assert default_checkpoints(1) == [1]
+    with pytest.raises(ConfigurationError):
+        default_checkpoints(0)
+
+
+def test_default_checkpoints_include_horizon():
+    assert default_checkpoints(2500)[-1] == 2500
+    assert default_checkpoints(150)[-1] == 150
+
+
+def test_windowed_accept_ratio_tracks_local_behaviour():
+    # First half everything accepted, second half everything rejected.
+    history = make_history([1, 1, 1, 0, 0, 0], [1, 1, 1, 1, 1, 1])
+    windowed = history.windowed_accept_ratio(window=2)
+    assert np.allclose(windowed, [1.0, 1.0, 1.0, 0.5, 0.0, 0.0])
+    # The cumulative ratio hides the collapse the window reveals.
+    assert history.accept_ratio_at([6])[0] == pytest.approx(0.5)
+
+
+def test_windowed_accept_ratio_partial_prefix_and_validation():
+    history = make_history([1, 0], [1, 1])
+    assert np.allclose(history.windowed_accept_ratio(10), [1.0, 0.5])
+    with pytest.raises(ConfigurationError):
+        history.windowed_accept_ratio(0)
+
+
+def test_windowed_accept_ratio_zero_arranged_rounds():
+    history = make_history([0, 1], [0, 1])
+    windowed = history.windowed_accept_ratio(1)
+    assert np.allclose(windowed, [0.0, 1.0])

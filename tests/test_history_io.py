@@ -1,0 +1,66 @@
+"""History serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.io.history_io import load_history, save_history
+from repro.simulation.history import History
+
+
+def make_history(with_kendall=False):
+    kwargs = {}
+    if with_kendall:
+        kwargs = {
+            "kendall_steps": np.array([10, 20]),
+            "kendall_taus": np.array([0.1, 0.6]),
+        }
+    return History(
+        policy_name="UCB",
+        rewards=np.array([1.0, 0.0, 2.0]),
+        arranged=np.array([2.0, 1.0, 3.0]),
+        avg_round_time=0.001,
+        **kwargs,
+    )
+
+
+def test_round_trip_without_kendall(tmp_path):
+    path = save_history(make_history(), tmp_path / "run")
+    assert path.suffix == ".npz"
+    loaded = load_history(path)
+    assert loaded.policy_name == "UCB"
+    assert np.allclose(loaded.rewards, [1, 0, 2])
+    assert np.allclose(loaded.arranged, [2, 1, 3])
+    assert loaded.avg_round_time == pytest.approx(0.001)
+    assert loaded.kendall_taus is None
+
+
+def test_round_trip_with_kendall(tmp_path):
+    path = save_history(make_history(with_kendall=True), tmp_path / "run.npz")
+    loaded = load_history(path)
+    assert loaded.kendall_steps.tolist() == [10, 20]
+    assert np.allclose(loaded.kendall_taus, [0.1, 0.6])
+
+
+def test_metrics_survive_the_round_trip(tmp_path):
+    original = make_history()
+    loaded = load_history(save_history(original, tmp_path / "run"))
+    assert loaded.total_reward == original.total_reward
+    assert loaded.overall_accept_ratio == original.overall_accept_ratio
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_history(tmp_path / "nope.npz")
+
+
+def test_non_history_archive_rejected(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, stuff=np.ones(3))
+    with pytest.raises(ConfigurationError):
+        load_history(path)
+
+
+def test_creates_parent_directories(tmp_path):
+    path = save_history(make_history(), tmp_path / "deep" / "nested" / "run")
+    assert path.exists()

@@ -1,0 +1,124 @@
+"""Integration tests: the paper's qualitative findings at small scale.
+
+These are the scientific checks — they run the full pipeline (world ->
+policies -> environment -> metrics) and assert the *orderings* the
+paper reports, with margins wide enough to be seed-robust.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bandits import OptPolicy, make_policy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.simulation.runner import run_policy
+
+
+@pytest.fixture(scope="module")
+def default_runs():
+    """One medium run of every policy on the scaled default setting."""
+    config = SyntheticConfig.scaled_default(seed=42).with_overrides(horizon=3000)
+    world = build_world(config)
+    histories = {
+        "OPT": run_policy(OptPolicy(world.theta), world, run_seed=1)
+    }
+    for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
+        policy = make_policy(name, dim=config.dim, seed=7)
+        histories[name] = run_policy(policy, world, run_seed=1)
+    return world, histories
+
+
+def test_opt_collects_the_most_reward(default_runs):
+    _, runs = default_runs
+    best = runs["OPT"].total_reward
+    for name, history in runs.items():
+        if name != "OPT":
+            assert history.total_reward <= best * 1.02
+
+
+def test_learning_policies_beat_random(default_runs):
+    _, runs = default_runs
+    floor = runs["Random"].total_reward
+    for name in ("UCB", "TS", "eGreedy", "Exploit"):
+        assert runs[name].total_reward > floor
+
+
+def test_the_headline_finding_ts_performs_badly(default_runs):
+    """TS only beats Random; UCB and Exploit are far ahead of TS."""
+    _, runs = default_runs
+    assert runs["UCB"].total_reward > 2 * runs["TS"].total_reward
+    assert runs["Exploit"].total_reward > 2 * runs["TS"].total_reward
+    assert runs["eGreedy"].total_reward > 2 * runs["TS"].total_reward
+
+
+def test_ucb_and_exploit_are_near_opt(default_runs):
+    _, runs = default_runs
+    for name in ("UCB", "Exploit"):
+        assert runs[name].total_reward > 0.9 * runs["OPT"].total_reward
+
+
+def test_accept_ratios_increase_over_time_for_learners(default_runs):
+    _, runs = default_runs
+    for name in ("UCB", "Exploit", "eGreedy"):
+        ratios = runs[name].accept_ratio_at([300, 3000])
+        assert ratios[1] > ratios[0]
+
+
+def test_random_accept_ratio_stays_flat(default_runs):
+    _, runs = default_runs
+    ratios = runs["Random"].accept_ratio_at([500, 3000])
+    assert abs(ratios[1] - ratios[0]) < 0.05
+
+
+def test_constraints_hold_throughout(default_runs):
+    world, runs = default_runs
+    for history in runs.values():
+        assert history.arranged.max() <= world.config.user_capacity_max
+        assert np.all(history.rewards <= history.arranged)
+
+
+def test_capacity_exhaustion_plateaus_opt_rewards():
+    """The regret-drop mechanism: OPT's cumulative reward saturates."""
+    config = SyntheticConfig.scaled_default(seed=3).with_overrides(
+        horizon=6000, capacity_mean=10.0, capacity_std=3.0
+    )
+    world = build_world(config)
+    opt = run_policy(OptPolicy(world.theta), world, run_seed=0)
+    cumulative = opt.cumulative_rewards()
+    total_capacity = world.capacities.sum()
+    assert cumulative[-1] <= total_capacity
+    # The last stretch gains almost nothing: events are gone.
+    assert cumulative[-1] - cumulative[-500] < 0.02 * cumulative[-1]
+
+
+def test_regret_gap_narrows_after_exhaustion():
+    config = SyntheticConfig.scaled_default(seed=3).with_overrides(
+        horizon=6000, capacity_mean=10.0, capacity_std=3.0
+    )
+    world = build_world(config)
+    opt = run_policy(OptPolicy(world.theta), world, run_seed=0)
+    ucb = run_policy(make_policy("UCB", dim=20, seed=7), world, run_seed=0)
+    regrets = opt.cumulative_rewards() - ucb.cumulative_rewards()
+    peak = regrets.max()
+    assert regrets[-1] < peak  # the paper's sudden drop
+
+
+def test_common_random_numbers_make_regret_mostly_positive(default_runs):
+    _, runs = default_runs
+    regrets = (
+        runs["OPT"].cumulative_rewards() - runs["Random"].cumulative_rewards()
+    )
+    assert np.all(regrets[50:] > 0)
+
+
+def test_ts_improves_when_d_is_one():
+    """Figure 4's effect: at d=1 TS becomes competitive."""
+    config = SyntheticConfig.scaled_default(seed=5).with_overrides(
+        horizon=3000, dim=1
+    )
+    world = build_world(config)
+    opt = run_policy(OptPolicy(world.theta), world, run_seed=0)
+    ts = run_policy(make_policy("TS", dim=1, seed=7), world, run_seed=0)
+    random_run = run_policy(make_policy("Random", dim=1, seed=7), world, run_seed=0)
+    ts_regret = opt.total_reward - ts.total_reward
+    random_regret = opt.total_reward - random_run.total_reward
+    assert ts_regret < 0.5 * random_regret

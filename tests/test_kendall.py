@@ -1,0 +1,88 @@
+"""Kendall-tau: closed-form cases, scipy cross-check, properties."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.kendall import _count_inversions, kendall_tau
+
+
+def test_identical_rankings_give_plus_one():
+    assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+
+def test_reversed_rankings_give_minus_one():
+    assert kendall_tau([4, 3, 2, 1], [1, 2, 3, 4]) == pytest.approx(-1.0)
+
+
+def test_classic_textbook_example():
+    # One discordant pair among three items: (3*2/2 - 2*1) wait —
+    # est [1,3,2] vs truth [1,2,3]: pairs (1,3),(1,2) concordant,
+    # (3,2) discordant -> tau = (2 - 1) / 3.
+    assert kendall_tau([1, 3, 2], [1, 2, 3]) == pytest.approx(1 / 3)
+
+
+def test_ties_count_as_neither():
+    # est ties the pair that truth orders: C=2 D=0 T=1 over 3 pairs.
+    assert kendall_tau([1, 1, 2], [1, 2, 3]) == pytest.approx(2 / 3)
+
+
+def test_all_tied_estimates_give_zero():
+    assert kendall_tau([5, 5, 5, 5], [1, 2, 3, 4]) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        kendall_tau([1, 2], [1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        kendall_tau([1], [1])
+
+
+def test_count_inversions_matches_bruteforce():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        values = rng.integers(0, 10, size=12).tolist()
+        brute = sum(
+            1
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if values[i] > values[j]
+        )
+        assert _count_inversions(values) == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    seed=st.integers(0, 10_000),
+)
+def test_matches_scipy_on_tie_free_data(n, seed):
+    rng = np.random.default_rng(seed)
+    estimated = rng.permutation(n).astype(float)
+    truth = rng.permutation(n).astype(float)
+    ours = kendall_tau(estimated, truth)
+    scipy_tau = scipy.stats.kendalltau(estimated, truth).statistic
+    assert ours == pytest.approx(scipy_tau, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 20), seed=st.integers(0, 10_000))
+def test_symmetry_and_bounds(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 5, size=n).astype(float)  # with ties
+    b = rng.integers(0, 5, size=n).astype(float)
+    tau = kendall_tau(a, b)
+    assert -1.0 <= tau <= 1.0
+    assert tau == pytest.approx(kendall_tau(b, a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 20), seed=st.integers(0, 10_000))
+def test_monotone_transform_invariance(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=n)
+    b = rng.normal(size=n)
+    assert kendall_tau(a, b) == pytest.approx(kendall_tau(np.exp(a), b * 3 + 1))

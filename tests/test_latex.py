@@ -1,0 +1,73 @@
+"""LaTeX rendering of tables and results."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.latex import escape_latex, latex_result, latex_table
+from repro.experiments.reporting import ExperimentResult, TableBlock
+
+
+def test_escape_latex_specials():
+    assert escape_latex("50% & more_fun #1") == r"50\% \& more\_fun \#1"
+    assert escape_latex("{x}$") == r"\{x\}\$"
+
+
+def test_latex_table_structure():
+    text = latex_table(["Algorithm", "value"], [["UCB", 1.5], ["TS", 0.001]])
+    assert text.startswith(r"\begin{tabular}{lr}")
+    assert r"\toprule" in text
+    assert r"UCB & 1.5 \\" in text
+    assert text.endswith(r"\end{tabular}")
+    assert r"\begin{table}" not in text  # unwrapped without caption
+
+
+def test_latex_table_wrapped_with_caption_and_label():
+    text = latex_table(["a"], [[1]], caption="My table", label="tab:x")
+    assert r"\begin{table}[t]" in text
+    assert r"\caption{My table}" in text
+    assert r"\label{tab:x}" in text
+    assert text.endswith(r"\end{table}")
+
+
+def test_latex_table_escapes_cells_and_headers():
+    text = latex_table(["p_value"], [["<0.05 & small"]])
+    assert r"p\_value" in text
+    assert r"<0.05 \& small" in text
+
+
+def test_latex_table_none_and_float_formatting():
+    text = latex_table(["v"], [[None], [123456.0], [0.0]])
+    assert "--" in text
+    assert "1.23e+05" in text
+
+
+def test_latex_table_validation():
+    with pytest.raises(ConfigurationError):
+        latex_table([], [])
+    with pytest.raises(ConfigurationError):
+        latex_table(["a", "b"], [[1]])
+
+
+def test_latex_result_renders_curves_and_tables():
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        checkpoints=[10, 20],
+        curves={"accept_ratio": {"UCB": [0.1, 0.2]}},
+        tables=[TableBlock("scalars", ["name", "v"], [["x", 1.0]])],
+    )
+    text = latex_result(result)
+    assert text.count(r"\begin{tabular}") == 2
+    assert r"\label{tab:demo-scalars}" in text
+    assert r"\label{tab:demo-accept-ratio}" in text
+
+
+def test_latex_result_requires_checkpoints_for_curves():
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        checkpoints=None,
+        curves={"m": {"a": [1.0]}},
+    )
+    with pytest.raises(ConfigurationError):
+        latex_result(result)

@@ -1,0 +1,58 @@
+"""The append-only registration ledger."""
+
+import pytest
+
+from repro.ebsn.ledger import LedgerEntry, RegistrationLedger
+from repro.exceptions import LedgerError
+
+
+def test_entry_reward_is_number_of_accepted_events():
+    entry = LedgerEntry(time_step=1, user_id=0, arranged=(1, 2, 3), accepted=(1, 3))
+    assert entry.reward == 2
+    assert entry.num_arranged == 3
+
+
+def test_entry_rejects_duplicates_and_non_subsets():
+    with pytest.raises(LedgerError):
+        LedgerEntry(time_step=1, user_id=0, arranged=(1, 1), accepted=())
+    with pytest.raises(LedgerError):
+        LedgerEntry(time_step=1, user_id=0, arranged=(1,), accepted=(2,))
+
+
+def test_ledger_requires_increasing_time_steps():
+    ledger = RegistrationLedger()
+    ledger.record(1, 0, [0], [0])
+    with pytest.raises(LedgerError):
+        ledger.record(1, 1, [1], [])
+    with pytest.raises(LedgerError):
+        ledger.record(0, 1, [1], [])
+
+
+def test_ledger_derived_totals():
+    ledger = RegistrationLedger()
+    ledger.record(1, 0, [0, 1], [0])
+    ledger.record(2, 1, [2, 3], [2, 3])
+    ledger.record(3, 2, [1], [])
+    assert len(ledger) == 3
+    assert ledger.total_reward() == 3
+    assert ledger.total_arranged() == 5
+    assert ledger.overall_accept_ratio() == pytest.approx(3 / 5)
+    assert ledger.rewards_by_step() == [1, 2, 0]
+
+
+def test_ledger_registrations_per_event():
+    ledger = RegistrationLedger()
+    ledger.record(1, 0, [0, 1], [0, 1])
+    ledger.record(2, 1, [0], [0])
+    assert ledger.registrations_per_event() == {0: 2, 1: 1}
+
+
+def test_empty_ledger_accept_ratio_is_zero():
+    assert RegistrationLedger().overall_accept_ratio() == 0.0
+
+
+def test_ledger_iteration_and_indexing():
+    ledger = RegistrationLedger()
+    first = ledger.record(1, 0, [0], [])
+    assert list(ledger) == [first]
+    assert ledger[0] is first

@@ -1,0 +1,64 @@
+"""The shared LinearModel: prediction, widths, update rule."""
+
+import numpy as np
+import pytest
+
+from repro.bandits.linear import LinearModel
+from repro.exceptions import ConfigurationError
+
+
+def test_prior_predicts_zero():
+    model = LinearModel(dim=3)
+    assert np.allclose(model.predict(np.eye(3)), np.zeros(3))
+
+
+def test_observe_only_uses_arranged_rows():
+    model = LinearModel(dim=2)
+    contexts = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    model.observe(contexts, arranged=[1], rewards=[1.0])
+    # Only row 1 entered the statistics: theta_hat points along e2.
+    theta = model.theta_hat()
+    assert theta[1] > 0
+    assert theta[0] == pytest.approx(0.0)
+
+
+def test_observe_validates_lengths():
+    model = LinearModel(dim=2)
+    with pytest.raises(ConfigurationError):
+        model.observe(np.ones((3, 2)), arranged=[0, 1], rewards=[1.0])
+
+
+def test_observe_with_empty_arrangement_is_a_noop():
+    model = LinearModel(dim=2)
+    model.observe(np.ones((3, 2)), arranged=[], rewards=[])
+    assert model.state.num_observations == 0
+
+
+def test_predict_validates_dimension():
+    model = LinearModel(dim=2)
+    with pytest.raises(ConfigurationError):
+        model.predict(np.ones((2, 3)))
+
+
+def test_learns_true_theta_from_noiseless_feedback():
+    true_theta = np.array([0.6, -0.2, 0.4])
+    rng = np.random.default_rng(0)
+    model = LinearModel(dim=3, lam=1e-6)
+    for _ in range(100):
+        contexts = rng.normal(size=(4, 3))
+        model.observe(contexts, [0, 1, 2, 3], (contexts @ true_theta).tolist())
+    assert np.allclose(model.theta_hat(), true_theta, atol=1e-4)
+
+
+def test_posterior_returns_mean_and_inverse():
+    model = LinearModel(dim=2, lam=2.0)
+    mean, y_inv = model.posterior()
+    assert np.allclose(mean, np.zeros(2))
+    assert np.allclose(y_inv, np.eye(2) / 2.0)
+
+
+def test_reset_forgets_observations():
+    model = LinearModel(dim=2)
+    model.observe(np.ones((1, 2)), [0], [1.0])
+    model.reset()
+    assert np.allclose(model.theta_hat(), np.zeros(2))

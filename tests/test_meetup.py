@@ -1,0 +1,80 @@
+"""The Meetup-like workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.meetup import (
+    NUM_ATTRIBUTES,
+    TOPICS,
+    MeetupConfig,
+    MeetupContextSampler,
+    build_meetup_world,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def meetup_world():
+    return build_meetup_world(MeetupConfig(num_events=30, horizon=500, seed=2))
+
+
+def test_config_dim_is_topics_plus_attributes():
+    config = MeetupConfig(num_topics=8)
+    assert config.dim == 8 + NUM_ATTRIBUTES
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        MeetupConfig(num_topics=0)
+    with pytest.raises(ConfigurationError):
+        MeetupConfig(num_topics=len(TOPICS) + 1)
+
+
+def test_world_shapes(meetup_world):
+    assert meetup_world.static_features.shape == (30, meetup_world.config.dim)
+    assert len(meetup_world.event_titles) == 30
+    assert np.linalg.norm(meetup_world.theta) == pytest.approx(1.0)
+
+
+def test_topic_mixtures_are_sparse_distributions(meetup_world):
+    topics = meetup_world.static_features[:, : meetup_world.meetup_config.num_topics]
+    assert np.all(topics >= 0)
+    assert np.allclose(topics.sum(axis=1), 1.0)
+    # Each event mixes at most 3 topics.
+    assert np.all((topics > 0).sum(axis=1) <= 3)
+
+
+def test_theta_dislikes_price_and_distance(meetup_world):
+    num_topics = meetup_world.meetup_config.num_topics
+    assert meetup_world.theta[num_topics + 0] < 0  # price
+    assert meetup_world.theta[num_topics + 1] < 0  # distance
+    assert meetup_world.theta[num_topics + 3] > 0  # reputation
+
+
+def test_sampler_produces_unit_rows_and_round_variation(meetup_world):
+    sampler = meetup_world.make_context_sampler()
+    assert isinstance(sampler, MeetupContextSampler)
+    rng = np.random.default_rng(0)
+    first = sampler.sample(rng)
+    second = sampler.sample(rng)
+    assert np.allclose(np.linalg.norm(first, axis=1), 1.0)
+    assert not np.allclose(first, second)  # per-round user interests differ
+
+
+def test_world_is_deterministic():
+    a = build_meetup_world(MeetupConfig(num_events=10, seed=9))
+    b = build_meetup_world(MeetupConfig(num_events=10, seed=9))
+    assert np.allclose(a.theta, b.theta)
+    assert np.allclose(a.static_features, b.static_features)
+    assert a.event_titles == b.event_titles
+
+
+def test_world_plugs_into_the_standard_runner(meetup_world):
+    from repro.bandits import UcbPolicy
+    from repro.simulation import run_policy
+
+    history = run_policy(
+        UcbPolicy(dim=meetup_world.config.dim), meetup_world, horizon=100
+    )
+    assert history.horizon == 100
+    assert history.total_reward >= 0

@@ -1,0 +1,70 @@
+"""The OnlineGreedy-GEACC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.online_greedy import OnlineGreedyPolicy, tag_interestingness
+from repro.bandits.base import RoundView
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.events import Event
+from repro.ebsn.users import User
+from repro.exceptions import ConfigurationError
+
+
+def make_events():
+    return [
+        Event(0, 10, tags=("music", "jazz")),
+        Event(1, 10, tags=("sports",)),
+        Event(2, 10, tags=("music", "rock")),
+    ]
+
+
+def make_view(capacity=2, pairs=()):
+    return RoundView(
+        time_step=1,
+        user=User(user_id=0, capacity=capacity),
+        contexts=np.zeros((3, 4)),
+        remaining_capacities=np.ones(3),
+        conflicts=ConflictGraph(3, pairs),
+    )
+
+
+def test_tag_interestingness_is_jaccard():
+    assert tag_interestingness({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+    assert tag_interestingness({"a"}, {"a"}) == 1.0
+    assert tag_interestingness(set(), set()) == 0.0
+    assert tag_interestingness({"a"}, {"b"}) == 0.0
+
+
+def test_online_greedy_prefers_matching_tags():
+    policy = OnlineGreedyPolicy(make_events(), preferred_tags={"music", "jazz"})
+    assert policy.select(make_view(capacity=1)) == [0]
+
+
+def test_online_greedy_never_adapts():
+    policy = OnlineGreedyPolicy(make_events(), preferred_tags={"sports"})
+    view = make_view(capacity=1)
+    first = policy.select(view)
+    policy.observe(view, first, [0.0])  # feedback is ignored (base no-op)
+    assert policy.select(view) == first
+
+
+def test_online_greedy_respects_conflicts():
+    policy = OnlineGreedyPolicy(make_events(), preferred_tags={"music"})
+    arrangement = policy.select(make_view(capacity=3, pairs=[(0, 2)]))
+    assert not (0 in arrangement and 2 in arrangement)
+
+
+def test_online_greedy_validation():
+    with pytest.raises(ConfigurationError):
+        OnlineGreedyPolicy([], preferred_tags={"a"})
+    policy = OnlineGreedyPolicy(make_events(), preferred_tags={"a"})
+    bad_view = RoundView(
+        time_step=1,
+        user=User(user_id=0, capacity=1),
+        contexts=np.zeros((5, 4)),
+        remaining_capacities=np.ones(5),
+        conflicts=ConflictGraph(5),
+    )
+    with pytest.raises(ConfigurationError):
+        policy.select(bad_view)

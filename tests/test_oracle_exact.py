@@ -1,0 +1,82 @@
+"""The exact oracle, and Theorem 1's 1/c_u approximation bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebsn.conflicts import ConflictGraph, random_conflicts
+from repro.exceptions import ConfigurationError
+from repro.oracle.exact import arrangement_value, exact_arrangement
+from repro.oracle.greedy import oracle_greedy
+
+
+def test_exact_beats_greedy_on_the_classic_counterexample():
+    """One high-score event conflicting with two medium ones."""
+    scores = np.array([1.0, 0.8, 0.8])
+    conflicts = ConflictGraph(3, [(0, 1), (0, 2)])
+    greedy = oracle_greedy(scores, conflicts, np.ones(3), user_capacity=2)
+    exact = exact_arrangement(scores, conflicts, np.ones(3), user_capacity=2)
+    assert greedy == [0]
+    assert exact == [1, 2]
+    assert arrangement_value(scores, exact) > arrangement_value(scores, greedy)
+
+
+def test_exact_respects_capacity_and_conflicts():
+    scores = np.array([0.9, 0.8, 0.7, 0.6])
+    conflicts = ConflictGraph(4, [(0, 1)])
+    result = exact_arrangement(scores, conflicts, np.ones(4), user_capacity=2)
+    assert conflicts.is_independent(result)
+    assert len(result) <= 2
+
+
+def test_exact_ignores_non_positive_scores():
+    scores = np.array([-1.0, 0.0, 0.5])
+    result = exact_arrangement(scores, ConflictGraph(3), np.ones(3), 3)
+    assert result == [2]
+
+
+def test_exact_skips_full_events():
+    scores = np.array([5.0, 1.0])
+    result = exact_arrangement(
+        scores, ConflictGraph(2), np.array([0.0, 1.0]), user_capacity=2
+    )
+    assert result == [1]
+
+
+def test_exact_refuses_oversized_instances():
+    scores = np.ones(64)
+    with pytest.raises(ConfigurationError):
+        exact_arrangement(scores, ConflictGraph(64), np.ones(64), 3)
+
+
+def test_arrangement_value_counts_positive_scores_only():
+    scores = np.array([1.0, -2.0, 0.5])
+    assert arrangement_value(scores, [0, 1, 2]) == pytest.approx(1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_events=st.integers(2, 10),
+    seed=st.integers(0, 10_000),
+    ratio=st.floats(0.0, 1.0),
+    capacity=st.integers(1, 5),
+)
+def test_theorem1_greedy_is_a_one_over_cu_approximation(
+    num_events, seed, ratio, capacity
+):
+    """sum_{v in A | r>0} r >= (1/c_u) * optimum over positive scores."""
+    rng = np.random.default_rng(seed)
+    scores = rng.uniform(-1.0, 1.0, size=num_events)
+    conflicts = ConflictGraph(num_events, random_conflicts(num_events, ratio, seed))
+    remaining = rng.integers(0, 3, size=num_events).astype(float)
+    greedy = oracle_greedy(scores, conflicts, remaining, capacity)
+    exact = exact_arrangement(scores, conflicts, remaining, capacity)
+    greedy_value = arrangement_value(scores, greedy)
+    exact_value = arrangement_value(scores, exact)
+    assert exact_value >= greedy_value - 1e-12  # exact really is optimal
+    assert greedy_value >= exact_value / capacity - 1e-12  # Theorem 1
+    # Feasibility of both.
+    assert conflicts.is_independent(greedy)
+    assert conflicts.is_independent(exact)
+    assert all(remaining[v] > 0 for v in greedy + exact)

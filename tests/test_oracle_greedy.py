@@ -1,0 +1,87 @@
+"""Oracle-Greedy (Algorithm 2): feasibility, ordering, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.conflicts import ConflictGraph
+from repro.exceptions import ConfigurationError
+from repro.oracle.greedy import oracle_greedy
+
+
+def graph(num_events, pairs=()):
+    return ConflictGraph(num_events, pairs)
+
+
+def test_picks_highest_scores_first():
+    scores = np.array([0.1, 0.9, 0.5, 0.3])
+    result = oracle_greedy(scores, graph(4), np.ones(4), user_capacity=2)
+    assert result == [1, 2]
+
+
+def test_respects_user_capacity():
+    scores = np.array([3.0, 2.0, 1.0])
+    result = oracle_greedy(scores, graph(3), np.ones(3), user_capacity=1)
+    assert result == [0]
+
+
+def test_skips_full_events():
+    scores = np.array([3.0, 2.0, 1.0])
+    capacities = np.array([0.0, 1.0, 1.0])
+    result = oracle_greedy(scores, graph(3), capacities, user_capacity=2)
+    assert result == [1, 2]
+
+
+def test_skips_conflicting_events():
+    scores = np.array([3.0, 2.0, 1.0])
+    result = oracle_greedy(scores, graph(3, [(0, 1)]), np.ones(3), user_capacity=3)
+    assert result == [0, 2]
+
+
+def test_includes_non_positive_scores_when_room_remains():
+    """The paper keeps hat-r <= 0 events: their true reward may be positive."""
+    scores = np.array([-0.5, -1.0])
+    result = oracle_greedy(scores, graph(2), np.ones(2), user_capacity=2)
+    assert result == [0, 1]
+
+
+def test_deterministic_tie_break_by_event_id():
+    scores = np.array([0.5, 0.5, 0.5])
+    result = oracle_greedy(scores, graph(3), np.ones(3), user_capacity=2)
+    assert result == [0, 1]
+
+
+def test_explicit_order_overrides_scores():
+    scores = np.array([9.0, 1.0, 5.0])
+    result = oracle_greedy(
+        scores, graph(3), np.ones(3), user_capacity=2, order=[2, 1, 0]
+    )
+    assert result == [2, 1]
+
+
+def test_explicit_order_must_be_a_permutation():
+    with pytest.raises(ConfigurationError):
+        oracle_greedy(np.ones(3), graph(3), np.ones(3), 1, order=[0, 0, 1])
+
+
+def test_input_validation():
+    with pytest.raises(ConfigurationError):
+        oracle_greedy(np.ones(3), graph(3), np.ones(2), 1)
+    with pytest.raises(ConfigurationError):
+        oracle_greedy(np.ones((2, 2)), graph(4), np.ones((2, 2)), 1)
+    with pytest.raises(ConfigurationError):
+        oracle_greedy(np.ones(2), graph(3), np.ones(2), 1)
+    with pytest.raises(ConfigurationError):
+        oracle_greedy(np.ones(3), graph(3), np.ones(3), 0)
+
+
+def test_all_conflicting_yields_single_event():
+    """cr = 1: only one event can ever be arranged per round."""
+    pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    scores = np.array([1.0, 5.0, 3.0, 2.0, 4.0])
+    result = oracle_greedy(scores, graph(5, pairs), np.ones(5), user_capacity=5)
+    assert result == [1]
+
+
+def test_no_available_events_yields_empty():
+    result = oracle_greedy(np.ones(3), graph(3), np.zeros(3), user_capacity=2)
+    assert result == []

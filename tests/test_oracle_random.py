@@ -1,0 +1,38 @@
+"""The random-order oracle behind the Random baseline."""
+
+import numpy as np
+
+from repro.ebsn.conflicts import ConflictGraph
+from repro.oracle.random_order import random_arrangement
+
+
+def test_random_arrangement_is_feasible():
+    conflicts = ConflictGraph(10, [(0, 1), (2, 3), (4, 5)])
+    capacities = np.array([1.0] * 5 + [0.0] * 5)
+    for seed in range(20):
+        result = random_arrangement(conflicts, capacities, user_capacity=3, rng=seed)
+        assert len(result) <= 3
+        assert conflicts.is_independent(result)
+        assert all(capacities[v] > 0 for v in result)
+
+
+def test_random_arrangement_fills_capacity_when_possible():
+    conflicts = ConflictGraph(10)
+    result = random_arrangement(conflicts, np.ones(10), user_capacity=4, rng=0)
+    assert len(result) == 4
+
+
+def test_random_arrangement_varies_with_seed():
+    conflicts = ConflictGraph(30)
+    results = {
+        tuple(random_arrangement(conflicts, np.ones(30), 3, rng=seed))
+        for seed in range(10)
+    }
+    assert len(results) > 1
+
+
+def test_random_arrangement_deterministic_per_seed():
+    conflicts = ConflictGraph(10)
+    a = random_arrangement(conflicts, np.ones(10), 3, rng=42)
+    b = random_arrangement(conflicts, np.ones(10), 3, rng=42)
+    assert a == b

@@ -1,0 +1,72 @@
+"""The platform façade: Definition 3's constraints are enforced."""
+
+import pytest
+
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.events import EventStore
+from repro.ebsn.platform import Platform
+from repro.ebsn.users import User
+from repro.exceptions import CapacityError, ConflictError
+
+
+@pytest.fixture
+def platform(simple_store, simple_conflicts):
+    return Platform(simple_store, simple_conflicts)
+
+
+def test_platform_rejects_mismatched_sizes(simple_store):
+    with pytest.raises(ConflictError):
+        Platform(simple_store, ConflictGraph(3))
+
+
+def test_commit_records_feedback_and_decrements_capacity(platform, simple_user):
+    entry = platform.commit(simple_user, [0, 2], feedback=lambda e: e == 0)
+    assert entry.accepted == (0,)
+    assert entry.reward == 1
+    # Only the accepted event consumed capacity (line 12 of Algorithm 1).
+    assert platform.store.remaining(0) == 1
+    assert platform.store.remaining(2) == 3
+    assert platform.time_step == 1
+
+
+def test_commit_rejects_conflicting_arrangement(platform, simple_user):
+    with pytest.raises(ConflictError):
+        platform.commit(simple_user, [0, 1], feedback=lambda e: True)
+
+
+def test_commit_rejects_over_capacity_user(platform):
+    user = User(user_id=0, capacity=1)
+    with pytest.raises(CapacityError):
+        platform.commit(user, [0, 2], feedback=lambda e: True)
+
+
+def test_commit_rejects_full_events(platform, simple_user):
+    platform.commit(simple_user, [1], feedback=lambda e: True)  # capacity 1 -> 0
+    with pytest.raises(CapacityError):
+        platform.commit(simple_user, [1], feedback=lambda e: True)
+
+
+def test_commit_rejects_duplicate_events(platform, simple_user):
+    with pytest.raises(ConflictError):
+        platform.commit(simple_user, [0, 0], feedback=lambda e: True)
+
+
+def test_empty_arrangement_is_legal(platform, simple_user):
+    entry = platform.commit(simple_user, [], feedback=lambda e: True)
+    assert entry.reward == 0
+    assert platform.time_step == 1
+
+
+def test_failed_commit_does_not_advance_time(platform, simple_user):
+    with pytest.raises(ConflictError):
+        platform.commit(simple_user, [0, 1], feedback=lambda e: True)
+    assert platform.time_step == 0
+    assert len(platform.ledger) == 0
+
+
+def test_reset_restores_everything(platform, simple_user):
+    platform.commit(simple_user, [0], feedback=lambda e: True)
+    platform.reset()
+    assert platform.time_step == 0
+    assert len(platform.ledger) == 0
+    assert platform.store.remaining(0) == 2

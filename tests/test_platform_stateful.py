@@ -1,0 +1,93 @@
+"""Stateful property test: the platform substrate under random traffic.
+
+A hypothesis rule-based machine drives a platform with arbitrary (but
+feasibility-filtered) arrangements, random feedback, releases and
+resets, and checks the accounting invariants after every step.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.events import EventStore
+from repro.ebsn.platform import Platform
+from repro.ebsn.users import User
+
+NUM_EVENTS = 6
+CAPACITIES = [3, 2, 4, 1, 2, 3]
+CONFLICTS = [(0, 1), (2, 3)]
+
+
+class PlatformMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.platform = Platform(
+            EventStore.from_capacities(CAPACITIES),
+            ConflictGraph(NUM_EVENTS, CONFLICTS),
+        )
+        self.expected_accepted = np.zeros(NUM_EVENTS)
+        self.expected_rewards = 0
+        self.rounds = 0
+
+    @rule(
+        wanted=st.lists(
+            st.integers(0, NUM_EVENTS - 1), min_size=0, max_size=4, unique=True
+        ),
+        accept_bits=st.integers(0, 2**NUM_EVENTS - 1),
+        capacity=st.integers(1, 4),
+    )
+    def commit_round(self, wanted, accept_bits, capacity):
+        # Filter the wish list down to a feasible arrangement.
+        arrangement = []
+        for event_id in wanted:
+            if len(arrangement) >= capacity:
+                break
+            if not self.platform.store.is_available(event_id):
+                continue
+            if self.platform.conflicts.conflicts_with_any(event_id, arrangement):
+                continue
+            arrangement.append(event_id)
+        user = User(user_id=self.rounds, capacity=capacity)
+        entry = self.platform.commit(
+            user, arrangement, feedback=lambda e: bool((accept_bits >> e) & 1)
+        )
+        self.rounds += 1
+        self.expected_rewards += entry.reward
+        for event_id in entry.accepted:
+            self.expected_accepted[event_id] += 1
+
+    @rule()
+    def reset(self):
+        self.platform.reset()
+        self.expected_accepted = np.zeros(NUM_EVENTS)
+        self.expected_rewards = 0
+        self.rounds = 0
+
+    @invariant()
+    def capacities_reconcile(self):
+        remaining = self.platform.store.remaining_capacities
+        assert np.allclose(
+            remaining, np.asarray(CAPACITIES, dtype=float) - self.expected_accepted
+        )
+        assert np.all(remaining >= 0)
+
+    @invariant()
+    def ledger_reconciles(self):
+        assert self.platform.ledger.total_reward() == self.expected_rewards
+        assert len(self.platform.ledger) == self.rounds
+        per_event = self.platform.ledger.registrations_per_event()
+        for event_id in range(NUM_EVENTS):
+            assert per_event.get(event_id, 0) == self.expected_accepted[event_id]
+
+    @invariant()
+    def no_ledger_entry_violates_constraints(self):
+        for entry in self.platform.ledger:
+            assert self.platform.conflicts.is_independent(entry.arranged)
+
+
+TestPlatformMachine = PlatformMachine.TestCase
+TestPlatformMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

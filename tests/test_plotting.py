@@ -1,0 +1,78 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.plotting import ascii_chart, chart_for_metric
+
+
+def test_chart_contains_glyphs_and_legend():
+    text = ascii_chart(
+        {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+        steps=[1, 2, 3, 4],
+        width=20,
+        height=6,
+    )
+    assert "*" in text and "o" in text
+    assert "legend: *=up  o=down" in text
+    assert "t=1" in text and "t=4" in text
+
+
+def test_chart_y_axis_labels():
+    text = ascii_chart({"a": [2.0, 10.0]}, width=10, height=5)
+    lines = text.splitlines()
+    assert lines[0].strip().startswith("10")
+    assert lines[4].strip().startswith("2")
+
+
+def test_rising_series_ends_in_the_top_row():
+    text = ascii_chart({"a": [0, 1, 2, 3, 4]}, width=10, height=5)
+    top_row = text.splitlines()[0]
+    assert top_row.rstrip().endswith("*")
+
+
+def test_nan_values_are_skipped():
+    text = ascii_chart(
+        {"a": [0.0, 1.0, float("nan"), float("nan")]}, width=12, height=4
+    )
+    assert "*" in text  # finite prefix still drawn
+
+
+def test_constant_series_renders():
+    text = ascii_chart({"a": [5.0, 5.0, 5.0]}, width=12, height=4)
+    assert "*" in text
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_chart({})
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": [1]}, width=20, height=5)
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": [1, 2], "b": [1, 2, 3]})
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": [1, 2]}, width=2, height=2)
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": [1, 2]}, steps=[1])
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": [float("nan")] * 3})
+
+
+def test_chart_for_metric_limits_series():
+    series = {f"s{i}": [0.0, float(i)] for i in range(10)}
+    text = chart_for_metric("accept_ratio", series, [1, 2], max_series=3)
+    assert "[accept_ratio]" in text
+    assert "s2" in text
+    assert "s9" not in text
+
+
+def test_report_with_charts_renders(small_world):
+    """End-to-end: a rendered experiment report embeds a chart."""
+    from repro.experiments.figures import figure1
+    from repro.experiments.reporting import render_result
+
+    result = figure1(horizon=150)
+    text = render_result(result)
+    assert "[accept_ratio]" in text
+    assert "legend:" in text

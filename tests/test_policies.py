@@ -1,0 +1,287 @@
+"""The five online policies plus OPT: behaviour on controlled views."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    EpsilonGreedyPolicy,
+    ExploitPolicy,
+    OptPolicy,
+    RandomPolicy,
+    RoundView,
+    ThompsonSamplingPolicy,
+    UcbPolicy,
+    make_policy,
+)
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.users import User
+from repro.exceptions import ConfigurationError
+
+
+def make_view(contexts, capacity=2, time_step=1, pairs=(), capacities=None):
+    contexts = np.asarray(contexts, dtype=float)
+    num_events = contexts.shape[0]
+    if capacities is None:
+        capacities = np.ones(num_events)
+    return RoundView(
+        time_step=time_step,
+        user=User(user_id=0, capacity=capacity),
+        contexts=contexts,
+        remaining_capacities=np.asarray(capacities, dtype=float),
+        conflicts=ConflictGraph(num_events, pairs),
+    )
+
+
+# ----------------------------------------------------------------------
+# make_policy factory
+# ----------------------------------------------------------------------
+def test_make_policy_builds_each_algorithm():
+    assert isinstance(make_policy("UCB", dim=3), UcbPolicy)
+    assert isinstance(make_policy("TS", dim=3), ThompsonSamplingPolicy)
+    assert isinstance(make_policy("eGreedy", dim=3), EpsilonGreedyPolicy)
+    assert isinstance(make_policy("Exploit", dim=3), ExploitPolicy)
+    assert isinstance(make_policy("Random", dim=3), RandomPolicy)
+
+
+def test_make_policy_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        make_policy("SARSA", dim=3)
+
+
+def test_make_policy_passes_parameters_through():
+    ucb = make_policy("UCB", dim=3, lam=2.0, alpha=1.5)
+    assert ucb.alpha == 1.5
+    assert ucb.model.lam == 2.0
+    ts = make_policy("TS", dim=3, delta=0.2)
+    assert ts.delta == 0.2
+    egreedy = make_policy("eGreedy", dim=3, epsilon=0.05)
+    assert egreedy.epsilon == 0.05
+
+
+# ----------------------------------------------------------------------
+# UCB
+# ----------------------------------------------------------------------
+def test_ucb_bonus_favours_unexplored_directions():
+    ucb = UcbPolicy(dim=2, alpha=2.0)
+    contexts = np.array([[1.0, 0.0], [0.0, 1.0]])
+    # Train heavily on event 0's direction with zero reward.
+    view = make_view(contexts)
+    for _ in range(50):
+        ucb.observe(view, [0], [0.0])
+    bounds = ucb.upper_confidence_bounds(contexts)
+    assert bounds[1] > bounds[0]
+    assert ucb.select(make_view(contexts, capacity=1)) == [1]
+
+
+def test_ucb_with_alpha_zero_is_pure_exploitation():
+    ucb = UcbPolicy(dim=2, alpha=0.0)
+    exploit = ExploitPolicy(dim=2)
+    contexts = np.array([[0.5, 0.1], [0.2, 0.9]])
+    view = make_view(contexts)
+    for policy in (ucb, exploit):
+        policy.observe(view, [0, 1], [1.0, 0.0])
+    assert np.allclose(
+        ucb.upper_confidence_bounds(contexts), exploit.predicted_scores(contexts)
+    )
+    assert ucb.select(view) == exploit.select(view)
+
+
+def test_ucb_rejects_negative_alpha():
+    with pytest.raises(ConfigurationError):
+        UcbPolicy(dim=2, alpha=-1.0)
+
+
+def test_ucb_escapes_all_reject_lock_in_but_exploit_does_not():
+    """The paper's Table 7 story: fixed contexts, all feedback 0."""
+    rng = np.random.default_rng(0)
+    contexts = rng.uniform(0, 1, size=(6, 3))
+    contexts /= np.linalg.norm(contexts, axis=1, keepdims=True)
+    ucb = UcbPolicy(dim=3, alpha=2.0)
+    exploit = ExploitPolicy(dim=3)
+    exploit_arrangements = set()
+    ucb_arrangements = set()
+    for t in range(1, 31):
+        view = make_view(contexts, capacity=2, time_step=t)
+        a_ucb = ucb.select(view)
+        a_exp = exploit.select(view)
+        ucb.observe(view, a_ucb, [0.0] * len(a_ucb))
+        exploit.observe(view, a_exp, [0.0] * len(a_exp))
+        ucb_arrangements.add(tuple(a_ucb))
+        exploit_arrangements.add(tuple(a_exp))
+    assert len(exploit_arrangements) == 1  # locked in forever
+    assert len(ucb_arrangements) > 1  # the bound keeps exploring
+
+
+# ----------------------------------------------------------------------
+# Thompson Sampling
+# ----------------------------------------------------------------------
+def test_ts_sampling_width_formula():
+    ts = ThompsonSamplingPolicy(dim=4, delta=0.1, seed=0)
+    expected = 1.0 * np.sqrt(9 * 4 * np.log(10 / 0.1))
+    assert ts.sampling_width(10) == pytest.approx(expected)
+
+
+def test_ts_sampling_width_grows_with_time_and_dim():
+    ts_small = ThompsonSamplingPolicy(dim=2, seed=0)
+    ts_large = ThompsonSamplingPolicy(dim=20, seed=0)
+    assert ts_small.sampling_width(100) > ts_small.sampling_width(10)
+    assert ts_large.sampling_width(10) > ts_small.sampling_width(10)
+
+
+def test_ts_validation():
+    with pytest.raises(ConfigurationError):
+        ThompsonSamplingPolicy(dim=2, delta=0.0)
+    with pytest.raises(ConfigurationError):
+        ThompsonSamplingPolicy(dim=2, delta=1.0)
+    with pytest.raises(ConfigurationError):
+        ThompsonSamplingPolicy(dim=2, sub_gaussian_scale=0.0)
+    ts = ThompsonSamplingPolicy(dim=2)
+    with pytest.raises(ConfigurationError):
+        ts.sampling_width(0)
+
+
+def test_ts_is_deterministic_per_seed():
+    contexts = np.array([[0.3, 0.4], [0.5, 0.1], [0.2, 0.9]])
+    view = make_view(contexts)
+    a = ThompsonSamplingPolicy(dim=2, seed=11).select(view)
+    b = ThompsonSamplingPolicy(dim=2, seed=11).select(view)
+    assert a == b
+
+
+def test_ts_posterior_concentrates_with_data():
+    ts = ThompsonSamplingPolicy(dim=2, seed=0)
+    view = make_view(np.array([[1.0, 0.0], [0.0, 1.0]]))
+    for _ in range(500):
+        ts.observe(view, [0, 1], [1.0, 0.0])
+    samples = np.vstack([ts.sample_theta(500) for _ in range(100)])
+    # Coordinate 0 saw reward 1, coordinate 1 reward 0.
+    assert samples[:, 0].mean() > samples[:, 1].mean()
+    # Posterior spread shrinks relative to the prior width q.
+    assert samples[:, 0].std() < ts.sampling_width(500)
+
+
+def test_ts_ranking_scores_fluctuate_between_calls():
+    """TS ranks by fresh posterior samples -> Figure 2's noisy tau."""
+    ts = ThompsonSamplingPolicy(dim=3, seed=0)
+    contexts = np.random.default_rng(0).uniform(size=(5, 3))
+    first = ts.ranking_scores(contexts, time_step=10)
+    second = ts.ranking_scores(contexts, time_step=10)
+    assert not np.allclose(first, second)
+
+
+# ----------------------------------------------------------------------
+# eGreedy
+# ----------------------------------------------------------------------
+def test_egreedy_validation():
+    with pytest.raises(ConfigurationError):
+        EpsilonGreedyPolicy(dim=2, epsilon=-0.1)
+    with pytest.raises(ConfigurationError):
+        EpsilonGreedyPolicy(dim=2, epsilon=1.1)
+
+
+def test_egreedy_epsilon_zero_equals_exploit():
+    contexts = np.random.default_rng(3).uniform(size=(8, 3))
+    egreedy = EpsilonGreedyPolicy(dim=3, epsilon=0.0, seed=0)
+    exploit = ExploitPolicy(dim=3)
+    view = make_view(contexts, capacity=3)
+    for policy in (egreedy, exploit):
+        policy.observe(view, [0, 3, 5], [1.0, 0.0, 1.0])
+    assert egreedy.select(view) == exploit.select(view)
+
+
+def test_egreedy_epsilon_one_always_explores_randomly():
+    contexts = np.random.default_rng(3).uniform(size=(20, 3))
+    egreedy = EpsilonGreedyPolicy(dim=3, epsilon=1.0, seed=0)
+    view = make_view(contexts, capacity=2)
+    arrangements = {tuple(egreedy.select(view)) for _ in range(15)}
+    assert len(arrangements) > 1
+
+
+def test_egreedy_explores_roughly_epsilon_fraction():
+    contexts = np.eye(4)
+    egreedy = EpsilonGreedyPolicy(dim=4, epsilon=0.3, seed=1)
+    view = make_view(contexts, capacity=1)
+    # Make the point estimate strongly favour event 0.
+    for _ in range(100):
+        egreedy.model.observe(contexts, [0], [1.0])
+    non_greedy = sum(egreedy.select(view) != [0] for _ in range(500))
+    # Random exploration picks a non-0 event ~ 0.3 * 3/4 of rounds.
+    assert 0.10 < non_greedy / 500 < 0.40
+
+
+# ----------------------------------------------------------------------
+# Exploit / Random / OPT
+# ----------------------------------------------------------------------
+def test_exploit_tracks_its_point_estimate():
+    contexts = np.array([[1.0, 0.0], [0.0, 1.0]])
+    exploit = ExploitPolicy(dim=2)
+    view = make_view(contexts, capacity=1)
+    exploit.observe(view, [1], [1.0])
+    assert exploit.select(view) == [1]
+
+
+def test_random_policy_never_learns_and_is_feasible():
+    contexts = np.random.default_rng(0).uniform(size=(10, 2))
+    random_policy = RandomPolicy(seed=0)
+    view = make_view(contexts, capacity=3, pairs=[(0, 1)])
+    for _ in range(10):
+        arrangement = random_policy.select(view)
+        assert len(arrangement) <= 3
+        assert view.conflicts.is_independent(arrangement)
+    assert np.allclose(random_policy.predicted_scores(contexts), 0.0)
+
+
+def test_opt_ranks_by_true_expected_reward():
+    theta = np.array([1.0, 0.0])
+    contexts = np.array([[0.1, 0.9], [0.8, 0.1], [0.5, 0.5]])
+    opt = OptPolicy(theta)
+    view = make_view(contexts, capacity=2)
+    assert opt.select(view) == [1, 2]
+
+
+def test_opt_validates_dimensions():
+    opt = OptPolicy(np.ones(3))
+    with pytest.raises(ConfigurationError):
+        opt.select(make_view(np.ones((2, 2))))
+    with pytest.raises(ConfigurationError):
+        OptPolicy(np.array([]))
+
+
+def test_policies_never_violate_constraints():
+    """Every policy's arrangement is feasible on a constrained view."""
+    rng = np.random.default_rng(5)
+    contexts = rng.uniform(-1, 1, size=(8, 3))
+    pairs = [(0, 1), (2, 3), (4, 5)]
+    capacities = np.array([1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0])
+    policies = [
+        UcbPolicy(dim=3),
+        ThompsonSamplingPolicy(dim=3, seed=0),
+        EpsilonGreedyPolicy(dim=3, seed=0),
+        ExploitPolicy(dim=3),
+        RandomPolicy(seed=0),
+        OptPolicy(np.ones(3)),
+    ]
+    for policy in policies:
+        for t in range(1, 6):
+            view = make_view(
+                contexts, capacity=3, time_step=t, pairs=pairs, capacities=capacities
+            )
+            arrangement = policy.select(view)
+            assert len(arrangement) <= 3
+            assert view.conflicts.is_independent(arrangement)
+            assert all(capacities[v] > 0 for v in arrangement)
+            policy.observe(view, arrangement, [0.0] * len(arrangement))
+
+
+def test_reset_clears_learned_state():
+    contexts = np.array([[1.0, 0.0], [0.0, 1.0]])
+    view = make_view(contexts)
+    for policy in (
+        UcbPolicy(dim=2),
+        ThompsonSamplingPolicy(dim=2, seed=0),
+        EpsilonGreedyPolicy(dim=2, seed=0),
+        ExploitPolicy(dim=2),
+    ):
+        policy.observe(view, [0], [1.0])
+        policy.reset()
+        assert np.allclose(policy.predicted_scores(contexts), 0.0)

@@ -1,0 +1,132 @@
+"""Policy state save/restore (warm starting)."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    ExploitPolicy,
+    OptPolicy,
+    RandomPolicy,
+    ThompsonSamplingPolicy,
+    UcbPolicy,
+)
+from repro.bandits.base import RoundView
+from repro.bandits.disjoint import DisjointUcbPolicy
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.users import User
+from repro.exceptions import ConfigurationError
+from repro.io.policy_state import load_policy_state, save_policy_state
+
+
+def make_view(contexts):
+    contexts = np.asarray(contexts, dtype=float)
+    return RoundView(
+        time_step=1,
+        user=User(user_id=0, capacity=2),
+        contexts=contexts,
+        remaining_capacities=np.ones(contexts.shape[0]),
+        conflicts=ConflictGraph(contexts.shape[0]),
+    )
+
+
+def train(policy, rounds=40, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(rounds):
+        contexts = rng.uniform(size=(5, 3))
+        view = make_view(contexts)
+        arrangement = policy.select(view)
+        rewards = [float(rng.integers(0, 2)) for _ in arrangement]
+        policy.observe(view, arrangement, rewards)
+    return policy
+
+
+def test_shared_state_round_trip(tmp_path):
+    trained = train(UcbPolicy(dim=3))
+    path = save_policy_state(trained, tmp_path / "ucb")
+    fresh = UcbPolicy(dim=3)
+    load_policy_state(fresh, path)
+    contexts = np.random.default_rng(1).uniform(size=(6, 3))
+    assert np.allclose(
+        fresh.predicted_scores(contexts), trained.predicted_scores(contexts)
+    )
+    assert fresh.model.state.num_observations == trained.model.state.num_observations
+
+
+def test_state_transfers_across_policy_kinds(tmp_path):
+    """UCB's statistics can warm-start an Exploit policy (same model)."""
+    trained = train(UcbPolicy(dim=3))
+    path = save_policy_state(trained, tmp_path / "ucb")
+    exploit = ExploitPolicy(dim=3)
+    load_policy_state(exploit, path)
+    contexts = np.random.default_rng(1).uniform(size=(4, 3))
+    assert np.allclose(
+        exploit.predicted_scores(contexts), trained.predicted_scores(contexts)
+    )
+
+
+def test_ts_state_round_trip(tmp_path):
+    trained = train(ThompsonSamplingPolicy(dim=3, seed=0))
+    path = save_policy_state(trained, tmp_path / "ts")
+    fresh = ThompsonSamplingPolicy(dim=3, seed=0)
+    load_policy_state(fresh, path)
+    assert np.allclose(fresh.model.state.y, trained.model.state.y)
+
+
+def test_disjoint_state_round_trip(tmp_path):
+    trained = train(DisjointUcbPolicy(num_events=5, dim=3))
+    path = save_policy_state(trained, tmp_path / "disjoint")
+    fresh = DisjointUcbPolicy(num_events=5, dim=3)
+    load_policy_state(fresh, path)
+    contexts = np.random.default_rng(1).uniform(size=(5, 3))
+    assert np.allclose(
+        fresh.predicted_scores(contexts), trained.predicted_scores(contexts)
+    )
+
+
+def test_model_free_policies_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        save_policy_state(RandomPolicy(seed=0), tmp_path / "r")
+    with pytest.raises(ConfigurationError):
+        save_policy_state(OptPolicy(np.ones(3)), tmp_path / "o")
+
+
+def test_kind_and_shape_mismatches_rejected(tmp_path):
+    shared = save_policy_state(train(UcbPolicy(dim=3)), tmp_path / "shared")
+    disjoint = save_policy_state(
+        train(DisjointUcbPolicy(num_events=5, dim=3)), tmp_path / "disjoint"
+    )
+    with pytest.raises(ConfigurationError):
+        load_policy_state(DisjointUcbPolicy(num_events=5, dim=3), shared)
+    with pytest.raises(ConfigurationError):
+        load_policy_state(UcbPolicy(dim=3), disjoint)
+    with pytest.raises(ConfigurationError):
+        load_policy_state(UcbPolicy(dim=7), shared)  # wrong dimension
+    with pytest.raises(ConfigurationError):
+        load_policy_state(
+            DisjointUcbPolicy(num_events=3, dim=3), disjoint
+        )  # wrong event count
+
+
+def test_missing_and_malformed_files(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_policy_state(UcbPolicy(dim=3), tmp_path / "nope.npz")
+    bad = tmp_path / "bad.npz"
+    np.savez(bad, whatever=np.ones(2))
+    with pytest.raises(ConfigurationError):
+        load_policy_state(UcbPolicy(dim=3), bad)
+
+
+def test_warm_start_actually_helps(tmp_path, small_world):
+    """Pretrained UCB beats a cold UCB over a short deployment window."""
+    from repro.simulation.runner import run_policy
+
+    pretrained = UcbPolicy(dim=4)
+    run_policy(pretrained, small_world, horizon=400, run_seed=1)
+    path = save_policy_state(pretrained, tmp_path / "warm")
+
+    warm = UcbPolicy(dim=4)
+    load_policy_state(warm, path)
+    cold = UcbPolicy(dim=4)
+    warm_history = run_policy(warm, small_world, horizon=60, run_seed=2)
+    cold_history = run_policy(cold, small_world, horizon=60, run_seed=2)
+    assert warm_history.total_reward >= cold_history.total_reward

@@ -1,0 +1,101 @@
+"""Public-API hygiene: exports resolve, __all__ is accurate, docstrings exist."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.bandits",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.ebsn",
+    "repro.experiments",
+    "repro.extensions",
+    "repro.io",
+    "repro.linalg",
+    "repro.mab",
+    "repro.metrics",
+    "repro.oracle",
+    "repro.simulation",
+    "repro.theory",
+]
+
+
+def iter_all_submodules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+def test_every_submodule_imports():
+    for name in iter_all_submodules():
+        importlib.import_module(name)
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_dunder_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{module_name} has no __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_all_is_sorted_and_unique():
+    assert sorted(repro.__all__) == list(repro.__all__)
+    assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+def test_every_module_has_a_docstring():
+    for name in iter_all_submodules():
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_every_public_callable_has_a_docstring():
+    missing = []
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if callable(obj) and not obj.__doc__:
+                missing.append(f"{module_name}.{name}")
+    assert not missing, f"missing docstrings: {missing}"
+
+
+def _documented_somewhere(cls, method_name):
+    """True when the method, or the interface it overrides, has a docstring."""
+    for base in cls.__mro__:
+        method = base.__dict__.get(method_name)
+        if method is not None and getattr(method, "__doc__", None):
+            return True
+    return False
+
+
+def test_public_classes_document_their_public_methods():
+    """Every public method is documented on the class or the interface
+    it implements (overrides of a documented base method count)."""
+    undocumented = []
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(
+                obj, predicate=inspect.isfunction
+            ):
+                if method_name.startswith("_"):
+                    continue
+                if not _documented_somewhere(obj, method_name):
+                    undocumented.append(f"{module_name}.{name}.{method_name}")
+    assert not undocumented, f"undocumented methods: {sorted(set(undocumented))}"
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"

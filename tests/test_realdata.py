@@ -1,0 +1,96 @@
+"""The real-dataset replay loop and Full Knowledge reference."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import ExploitPolicy, RandomPolicy, UcbPolicy
+from repro.exceptions import ConfigurationError
+from repro.simulation.realdata import (
+    full_knowledge_accept_ratio,
+    full_knowledge_count,
+    full_knowledge_history,
+    resolve_capacity,
+    run_real_policy,
+)
+
+
+def test_resolve_capacity(damai):
+    user = damai.users[0]
+    assert resolve_capacity(user, 5) == 5
+    assert resolve_capacity(user, "full") == user.yes_count
+    with pytest.raises(ConfigurationError):
+        resolve_capacity(user, 0)
+
+
+def test_full_knowledge_is_bounded_by_capacity_and_yes_count(damai):
+    for user in damai.users:
+        for mode in (5, "full"):
+            capacity = resolve_capacity(user, mode)
+            count = full_knowledge_count(damai, user, capacity)
+            assert 0 <= count <= min(capacity, user.yes_count)
+
+
+def test_full_knowledge_arrangement_is_conflict_limited(damai):
+    """For c_u = full, the ratio is below 1 exactly when Yes-events conflict."""
+    for user in damai.users:
+        ratio = full_knowledge_accept_ratio(damai, user, "full")
+        yes = sorted(user.yes_events)
+        if damai.conflicts.is_independent(yes):
+            assert ratio == pytest.approx(1.0)
+        else:
+            assert ratio < 1.0
+
+
+def test_full_knowledge_history_is_constant(damai):
+    user = damai.users[0]
+    history = full_knowledge_history(damai, user, 5, horizon=10)
+    assert history.horizon == 10
+    assert np.all(history.rewards == history.rewards[0])
+    assert np.all(history.arranged == 5)
+
+
+def test_replay_shows_identical_contexts_each_round(damai):
+    """Policies receive the same matrix every round (by construction)."""
+    user = damai.users[2]
+    seen = []
+
+    class Probe(RandomPolicy):
+        def select(self, view):
+            seen.append(view.contexts)
+            return super().select(view)
+
+    run_real_policy(Probe(seed=0), damai, user, 5, horizon=3)
+    assert np.allclose(seen[0], seen[1])
+    assert np.allclose(seen[1], seen[2])
+
+
+def test_replay_feedback_is_deterministic(damai):
+    user = damai.users[1]
+    a = run_real_policy(UcbPolicy(dim=20), damai, user, 5, horizon=50)
+    b = run_real_policy(UcbPolicy(dim=20), damai, user, 5, horizon=50)
+    assert np.allclose(a.rewards, b.rewards)
+
+
+def test_ucb_approaches_full_knowledge(damai):
+    user = damai.users[1]
+    history = run_real_policy(UcbPolicy(dim=20), damai, user, 5, horizon=800)
+    ceiling = full_knowledge_accept_ratio(damai, user, 5)
+    late_ratio = history.rewards[-100:].mean() / history.arranged[-100:].mean()
+    assert late_ratio > 0.8 * ceiling
+
+
+def test_exploit_can_lock_onto_all_reject(damai):
+    """The Table 7 pathology: some user makes Exploit score 0 forever."""
+    ratios = [
+        run_real_policy(
+            ExploitPolicy(dim=20), damai, user, 5, horizon=100
+        ).overall_accept_ratio
+        for user in damai.users
+    ]
+    assert any(r == 0.0 for r in ratios)
+    assert any(r > 0.5 for r in ratios)
+
+
+def test_replay_validates_horizon(damai):
+    with pytest.raises(ConfigurationError):
+        run_real_policy(RandomPolicy(seed=0), damai, damai.users[0], 5, horizon=0)

@@ -1,0 +1,68 @@
+"""Regret series helpers and run summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.regret import regret_ratio_series, regret_series, total_regret
+from repro.metrics.summary import summarize
+from repro.simulation.history import History
+
+
+def make(rewards, name="p"):
+    rewards = np.asarray(rewards, dtype=float)
+    return History(policy_name=name, rewards=rewards, arranged=np.ones_like(rewards))
+
+
+def test_regret_series_is_the_cumulative_gap():
+    policy = make([0, 1, 0])
+    reference = make([1, 1, 1], name="OPT")
+    assert np.allclose(regret_series(policy, reference), [1, 1, 2])
+
+
+def test_regret_can_be_negative_step_by_step():
+    """A policy can transiently beat OPT's greedy oracle on lucky coins."""
+    policy = make([2, 0])
+    reference = make([1, 1], name="OPT")
+    assert np.allclose(regret_series(policy, reference), [-1, 0])
+
+
+def test_total_regret_is_the_final_value():
+    policy = make([0, 0, 1])
+    reference = make([1, 1, 1], name="OPT")
+    assert total_regret(policy, reference) == 2.0
+
+
+def test_regret_ratio_is_inf_before_any_reward():
+    policy = make([0, 1])
+    reference = make([1, 1], name="OPT")
+    ratios = regret_ratio_series(policy, reference)
+    assert np.isinf(ratios[0])
+    assert ratios[1] == pytest.approx(1.0)
+
+
+def test_mismatched_horizons_rejected():
+    with pytest.raises(ConfigurationError):
+        regret_series(make([1]), make([1, 1]))
+
+
+def test_summarize_without_reference():
+    summary = summarize(make([1, 0, 1]))
+    assert summary.total_reward == 2
+    assert summary.total_regret is None
+    assert summary.regret_ratio is None
+    assert summary.overall_accept_ratio == pytest.approx(2 / 3)
+
+
+def test_summarize_with_reference():
+    summary = summarize(make([1, 0, 1]), make([1, 1, 1], name="OPT"))
+    assert summary.total_regret == 1
+    assert summary.regret_ratio == pytest.approx(0.5)
+
+
+def test_summary_as_dict_round_trips_fields():
+    summary = summarize(make([1, 1]), make([1, 1], name="OPT"))
+    data = summary.as_dict()
+    assert data["policy"] == "p"
+    assert data["total_reward"] == 2
+    assert data["total_regret"] == 0

@@ -1,0 +1,88 @@
+"""Result rendering and persistence."""
+
+import csv
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import (
+    ExperimentResult,
+    TableBlock,
+    format_table,
+    render_result,
+    save_result,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        params={"seed": 0},
+        checkpoints=[10, 20, 30],
+        curves={"accept_ratio": {"UCB": [0.1, 0.2, 0.3], "TS": [0.05, 0.1, 0.1]}},
+        tables=[TableBlock("scalars", ["name", "value"], [["x", 1.5]])],
+        notes="hello",
+    )
+
+
+def test_table_block_validates_row_widths():
+    with pytest.raises(ConfigurationError):
+        TableBlock("bad", ["a", "b"], [[1]])
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["name", "v"], [["UCB", 1.0], ["TS", 22.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert len(lines) == 4  # header, rule, two rows
+    assert "22.5" in lines[3]
+
+
+def test_format_table_handles_none_and_extreme_floats():
+    text = format_table(["v"], [[None], [1e-9], [123456.0], [0.0]])
+    assert "-" in text
+    assert "1e-09" in text
+    assert "0" in text
+
+
+def test_render_result_includes_all_sections():
+    text = render_result(make_result())
+    assert "demo" in text
+    assert "accept_ratio" in text
+    assert "UCB" in text
+    assert "scalars" in text
+    assert "hello" in text
+
+
+def test_render_subsamples_long_curves():
+    result = make_result()
+    result.checkpoints = list(range(1, 101))
+    result.curves = {"m": {"a": [float(i) for i in range(100)]}}
+    text = render_result(result, max_curve_rows=5)
+    # header + rule + at most ~6 rows in the metric section
+    metric_section = text.split("-- m --")[1]
+    data_lines = [l for l in metric_section.splitlines() if l and l[0].isdigit()]
+    assert len(data_lines) <= 6
+    assert any(l.startswith("100") for l in data_lines)  # last point kept
+
+
+def test_render_requires_checkpoints_for_curves():
+    result = make_result()
+    result.checkpoints = None
+    with pytest.raises(ConfigurationError):
+        render_result(result)
+
+
+def test_save_result_writes_all_artifacts(tmp_path):
+    directory = save_result(make_result(), tmp_path)
+    assert (directory / "report.txt").exists()
+    assert (directory / "params.json").exists()
+    curve_file = directory / "curve_accept_ratio.csv"
+    assert curve_file.exists()
+    with curve_file.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["t", "UCB", "TS"]
+    assert rows[1][0] == "10"
+    table_file = directory / "table_scalars.csv"
+    assert table_file.exists()

@@ -1,0 +1,133 @@
+"""RidgeState: sufficient statistics and Sherman-Morrison maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.ridge import RidgeState
+
+
+def test_initial_state_is_the_prior():
+    state = RidgeState(dim=3, lam=2.0)
+    assert np.allclose(state.y, 2.0 * np.eye(3))
+    assert np.allclose(state.b, np.zeros(3))
+    assert np.allclose(state.theta_hat(), np.zeros(3))
+    assert state.num_observations == 0
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        RidgeState(dim=0)
+    with pytest.raises(ConfigurationError):
+        RidgeState(dim=2, lam=0.0)
+    with pytest.raises(ConfigurationError):
+        RidgeState(dim=2, refresh_every=-1)
+
+
+def test_update_accumulates_y_and_b():
+    state = RidgeState(dim=2, lam=1.0)
+    x = np.array([1.0, 2.0])
+    state.update(x, reward=1.0)
+    assert np.allclose(state.y, np.eye(2) + np.outer(x, x))
+    assert np.allclose(state.b, x)
+    assert state.num_observations == 1
+
+
+def test_update_rejects_wrong_dimension():
+    state = RidgeState(dim=2)
+    with pytest.raises(ConfigurationError):
+        state.update(np.ones(3), 1.0)
+
+
+def test_update_batch_matches_sequential_updates():
+    xs = np.array([[1.0, 0.5], [0.2, -0.3], [0.0, 1.0]])
+    rewards = np.array([1.0, 0.0, 1.0])
+    sequential = RidgeState(dim=2)
+    for x, r in zip(xs, rewards):
+        sequential.update(x, r)
+    batched = RidgeState(dim=2)
+    batched.update_batch(xs, rewards)
+    assert np.allclose(sequential.y, batched.y)
+    assert np.allclose(sequential.b, batched.b)
+
+
+def test_update_batch_rejects_mismatched_lengths():
+    state = RidgeState(dim=2)
+    with pytest.raises(ConfigurationError):
+        state.update_batch(np.ones((2, 2)), np.ones(3))
+
+
+def test_theta_hat_recovers_true_weights_from_clean_data():
+    true_theta = np.array([0.5, -0.3, 0.8])
+    rng = np.random.default_rng(0)
+    state = RidgeState(dim=3, lam=1e-6)
+    for _ in range(200):
+        x = rng.normal(size=3)
+        state.update(x, float(x @ true_theta))
+    assert np.allclose(state.theta_hat(), true_theta, atol=1e-4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    xs=arrays(
+        np.float64,
+        (10, 3),
+        elements=st.floats(-1.0, 1.0, allow_nan=False),
+    ),
+    rewards=arrays(np.float64, 10, elements=st.floats(0.0, 1.0)),
+)
+def test_sherman_morrison_matches_direct_inverse(xs, rewards):
+    """The incrementally maintained inverse equals the direct one."""
+    incremental = RidgeState(dim=3, lam=1.0, refresh_every=10_000)
+    direct = RidgeState(dim=3, lam=1.0, refresh_every=0)
+    for x, r in zip(xs, rewards):
+        incremental.update(x, float(r))
+        direct.update(x, float(r))
+    assert np.allclose(incremental.y_inv, direct.y_inv, atol=1e-8)
+    assert np.allclose(incremental.theta_hat(), direct.theta_hat(), atol=1e-8)
+
+
+def test_periodic_refresh_keeps_inverse_accurate():
+    state = RidgeState(dim=4, lam=1.0, refresh_every=7)
+    rng = np.random.default_rng(1)
+    for _ in range(100):
+        state.update(rng.normal(size=4), float(rng.integers(0, 2)))
+    assert np.allclose(state.y_inv, np.linalg.inv(state.y), atol=1e-9)
+
+
+def test_confidence_widths_shrink_along_observed_directions():
+    state = RidgeState(dim=2, lam=1.0)
+    direction = np.array([1.0, 0.0])
+    before = state.confidence_widths(direction)[0]
+    for _ in range(50):
+        state.update(direction, 1.0)
+    after_seen = state.confidence_widths(direction)[0]
+    after_unseen = state.confidence_widths(np.array([0.0, 1.0]))[0]
+    assert after_seen < before / 5
+    assert after_unseen == pytest.approx(before)
+
+
+def test_confidence_widths_rejects_wrong_dimension():
+    state = RidgeState(dim=2)
+    with pytest.raises(ConfigurationError):
+        state.confidence_widths(np.ones((3, 3)))
+
+
+def test_reset_restores_the_prior():
+    state = RidgeState(dim=2, lam=0.5)
+    state.update(np.ones(2), 1.0)
+    state.reset()
+    assert np.allclose(state.y, 0.5 * np.eye(2))
+    assert np.allclose(state.b, np.zeros(2))
+    assert state.num_observations == 0
+
+
+def test_properties_return_copies():
+    state = RidgeState(dim=2)
+    state.y[0, 0] = 999.0
+    state.b[0] = 999.0
+    assert state.y[0, 0] == 1.0
+    assert state.b[0] == 0.0

@@ -1,0 +1,86 @@
+"""The paper's running example (Examples 1-3, Table 2) as a test.
+
+Four events — football v1, basketball v2, concert v3, BBQ v4 — with
+v1 conflicting with v2; the Table 2 feature vectors; a user with
+capacity 2 then one with capacity 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bandits import ThompsonSamplingPolicy, UcbPolicy
+from repro.bandits.base import RoundView
+from repro.ebsn.conflicts import ConflictGraph
+from repro.ebsn.users import User
+
+ROUND1 = np.array(
+    [
+        [0.1, 0.0, 0.5, 0.2],
+        [0.2, 0.1, 0.0, 0.1],
+        [0.2, 0.3, 0.0, 0.2],
+        [0.0, 0.0, 1.0, 0.0],
+    ]
+)
+ROUND2 = np.array(
+    [
+        [0.2, 0.1, 0.2, 0.1],
+        [0.1, 0.2, 0.0, 0.1],
+        [0.0, 0.0, 0.0, 0.5],
+        [0.2, 0.1, 0.4, 0.0],
+    ]
+)
+
+
+def make_view(time_step, contexts, capacity):
+    return RoundView(
+        time_step=time_step,
+        user=User(user_id=time_step, capacity=capacity),
+        contexts=contexts,
+        remaining_capacities=np.full(4, 10.0),
+        conflicts=ConflictGraph(4, [(0, 1)]),
+    )
+
+
+def test_arrangements_never_contain_both_v1_and_v2():
+    for seed in range(10):
+        ts = ThompsonSamplingPolicy(dim=4, seed=seed)
+        arrangement = ts.select(make_view(1, ROUND1, capacity=2))
+        assert not ({0, 1} <= set(arrangement))
+        assert len(arrangement) == 2  # capacity filled (no other conflicts)
+
+
+def test_example2_paper_theta_sample_reproduces_the_narrative():
+    """With the paper's sampled theta, v2 and v3 are arranged to u1."""
+    theta_tilde = np.array([-11.28, 0.93, -13.07, 18.60])
+    scores = ROUND1 @ theta_tilde
+    # The paper reports estimated rewards -3.94, -0.30, 1.74, -13.07.
+    assert scores == pytest.approx([-3.942, -0.305, 1.743, -13.07], abs=0.01)
+    from repro.oracle.greedy import oracle_greedy
+
+    arrangement = oracle_greedy(
+        scores, ConflictGraph(4, [(0, 1)]), np.full(4, 10.0), user_capacity=2
+    )
+    # v3 first (highest), then v2 (v1 is next-best but the paper arranges
+    # v2; with these scores order is v3 > v2 > v1 > v4 and v1/v2 conflict).
+    assert set(arrangement) == {1, 2}
+
+
+def test_example3_ucb_round1_prior_bounds_rank_v4_and_v1_first():
+    """With no data, UCB bounds reduce to alpha * ||x|| — the paper's
+    1.10, 0.49, 0.82, 2.00 ordering (alpha=2, lambda=1)."""
+    ucb = UcbPolicy(dim=4, lam=1.0, alpha=2.0)
+    bounds = ucb.upper_confidence_bounds(ROUND1)
+    expected = 2.0 * np.linalg.norm(ROUND1, axis=1)
+    assert bounds == pytest.approx(expected)
+    assert expected == pytest.approx([1.10, 0.49, 0.82, 2.00], abs=0.01)
+    arrangement = ucb.select(make_view(1, ROUND1, capacity=2))
+    assert set(arrangement) == {0, 3}  # v1 and v4, as in Example 3
+
+
+def test_example3_ucb_round2_after_accepts_arranges_v3():
+    ucb = UcbPolicy(dim=4, lam=1.0, alpha=2.0)
+    view1 = make_view(1, ROUND1, capacity=2)
+    arrangement = ucb.select(view1)
+    ucb.observe(view1, arrangement, [1.0] * len(arrangement))
+    arrangement2 = ucb.select(make_view(2, ROUND2, capacity=1))
+    assert arrangement2 == [2]  # v3, as in Example 3

@@ -1,0 +1,101 @@
+"""The SQLite run store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.io.runstore import RunStore
+from repro.simulation.history import History
+
+
+def make_history(name="UCB", rewards=(1, 0, 1, 1)):
+    rewards = np.asarray(rewards, dtype=float)
+    return History(
+        policy_name=name,
+        rewards=rewards,
+        arranged=np.ones_like(rewards) * 2,
+        avg_round_time=0.002,
+    )
+
+
+@pytest.fixture
+def store():
+    with RunStore() as s:
+        yield s
+
+
+def test_record_and_get_run(store):
+    run_id = store.record_history("fig1", make_history(), seed=3, run_seed=7)
+    record = store.get_run(run_id)
+    assert record.experiment == "fig1"
+    assert record.policy == "UCB"
+    assert record.seed == 3
+    assert record.run_seed == 7
+    assert record.horizon == 4
+    assert record.total_reward == 3
+    assert record.accept_ratio == pytest.approx(3 / 8)
+    assert record.total_regret is None
+
+
+def test_regret_recorded_against_reference(store):
+    reference = make_history("OPT", rewards=(1, 1, 1, 1))
+    run_id = store.record_history("fig1", make_history(), reference=reference)
+    assert store.get_run(run_id).total_regret == 1.0
+
+
+def test_curves_round_trip(store):
+    reference = make_history("OPT", rewards=(1, 1, 1, 1))
+    run_id = store.record_history(
+        "fig1",
+        make_history(),
+        reference=reference,
+        curve_checkpoints=[2, 4],
+    )
+    accept = store.curve(run_id, "accept_ratio")
+    assert [step for step, _ in accept] == [2, 4]
+    regrets = store.curve(run_id, "total_regrets")
+    assert regrets[-1] == (4, 1.0)
+
+
+def test_list_runs_filters(store):
+    store.record_history("fig1", make_history("UCB"))
+    store.record_history("fig1", make_history("TS"))
+    store.record_history("fig2", make_history("UCB"))
+    assert len(store.list_runs()) == 3
+    assert len(store.list_runs(experiment="fig1")) == 2
+    assert len(store.list_runs(policy="UCB")) == 2
+    assert len(store.list_runs(experiment="fig1", policy="TS")) == 1
+
+
+def test_policy_statistics_aggregates_across_seeds(store):
+    store.record_history("fig1", make_history("UCB", rewards=(1, 1, 1, 1)), seed=0)
+    store.record_history("fig1", make_history("UCB", rewards=(0, 0, 0, 0)), seed=1)
+    stats = store.policy_statistics("fig1")
+    assert stats["UCB"]["count"] == 2
+    assert stats["UCB"]["mean_accept_ratio"] == pytest.approx(0.25)
+    assert stats["UCB"]["min_accept_ratio"] == 0.0
+    assert stats["UCB"]["max_accept_ratio"] == 0.5
+
+
+def test_delete_run_cascades_to_curves(store):
+    run_id = store.record_history(
+        "fig1", make_history(), curve_checkpoints=[2, 4]
+    )
+    store.delete_run(run_id)
+    assert store.count_runs() == 0
+    assert store.curve(run_id, "accept_ratio") == []
+    with pytest.raises(ConfigurationError):
+        store.delete_run(run_id)
+
+
+def test_unknown_run_id_raises(store):
+    with pytest.raises(ConfigurationError):
+        store.get_run(999)
+
+
+def test_file_backed_store_persists(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    with RunStore(path) as store:
+        store.record_history("fig1", make_history())
+    with RunStore(path) as reopened:
+        assert reopened.count_runs() == 1

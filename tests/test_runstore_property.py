@@ -1,0 +1,90 @@
+"""Property-based tests of the SQLite run store."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.runstore import RunStore
+from repro.simulation.history import History
+
+rewards_strategy = st.lists(
+    st.integers(0, 5), min_size=1, max_size=30
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+
+def make_history(rewards, name="UCB"):
+    return History(
+        policy_name=name,
+        rewards=rewards,
+        arranged=np.maximum(rewards, 1.0),
+        avg_round_time=0.001,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(rewards=rewards_strategy, seed=st.integers(0, 100))
+def test_scalar_round_trip(rewards, seed):
+    history = make_history(rewards)
+    with RunStore() as store:
+        run_id = store.record_history("exp", history, seed=seed)
+        record = store.get_run(run_id)
+        assert record.total_reward == history.total_reward
+        assert record.horizon == history.horizon
+        assert record.accept_ratio == history.overall_accept_ratio
+        assert record.seed == seed
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batches=st.lists(
+        st.tuples(st.sampled_from(["fig1", "fig2"]), rewards_strategy),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_counts_and_filters_consistent(batches):
+    with RunStore() as store:
+        per_experiment = {"fig1": 0, "fig2": 0}
+        for experiment, rewards in batches:
+            store.record_history(experiment, make_history(rewards))
+            per_experiment[experiment] += 1
+        assert store.count_runs() == len(batches)
+        for experiment, expected in per_experiment.items():
+            assert len(store.list_runs(experiment=experiment)) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(rewards=rewards_strategy)
+def test_curves_preserve_checkpoint_values(rewards):
+    history = make_history(rewards)
+    checkpoints = [1, history.horizon]
+    with RunStore() as store:
+        run_id = store.record_history(
+            "exp", history, curve_checkpoints=checkpoints
+        )
+        stored = dict(store.curve(run_id, "total_rewards"))
+        expected = history.rewards_at(checkpoints)
+        assert stored[1] == expected[0]
+        assert stored[history.horizon] == expected[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    names=st.lists(
+        st.sampled_from(["UCB", "TS", "Random"]), min_size=1, max_size=6
+    ),
+    rewards=rewards_strategy,
+)
+def test_statistics_match_manual_aggregation(names, rewards):
+    with RunStore() as store:
+        ratios = {}
+        for index, name in enumerate(names):
+            history = make_history(rewards, name=name)
+            store.record_history("exp", history, seed=index)
+            ratios.setdefault(name, []).append(history.overall_accept_ratio)
+        stats = store.policy_statistics("exp")
+        for name, values in ratios.items():
+            assert stats[name]["count"] == len(values)
+            assert stats[name]["mean_accept_ratio"] == (
+                sum(values) / len(values)
+            )

@@ -1,0 +1,70 @@
+"""RNG helpers and Cholesky Gaussian sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import cholesky_sample, make_rng, spawn_rng
+
+
+def test_make_rng_is_deterministic_for_integer_seeds():
+    a = make_rng(7).uniform(size=5)
+    b = make_rng(7).uniform(size=5)
+    assert np.allclose(a, b)
+
+
+def test_make_rng_passes_generators_through():
+    generator = np.random.default_rng(0)
+    assert make_rng(generator) is generator
+
+
+def test_spawn_rng_children_are_independent_per_key():
+    parent = make_rng(0)
+    child_a = spawn_rng(parent, 1)
+    parent2 = make_rng(0)
+    child_b = spawn_rng(parent2, 2)
+    assert not np.allclose(child_a.uniform(size=8), child_b.uniform(size=8))
+
+
+def test_spawn_rng_same_key_same_stream():
+    child_a = spawn_rng(make_rng(0), 5)
+    child_b = spawn_rng(make_rng(0), 5)
+    assert np.allclose(child_a.uniform(size=8), child_b.uniform(size=8))
+
+
+def test_cholesky_sample_mean_and_covariance():
+    mean = np.array([1.0, -2.0])
+    covariance = np.array([[2.0, 0.5], [0.5, 1.0]])
+    rng = make_rng(3)
+    draws = np.vstack(
+        [cholesky_sample(mean, covariance, rng) for _ in range(4000)]
+    )
+    assert np.allclose(draws.mean(axis=0), mean, atol=0.1)
+    assert np.allclose(np.cov(draws.T), covariance, atol=0.15)
+
+
+def test_cholesky_sample_handles_near_singular_covariance():
+    mean = np.zeros(3)
+    rank_one = np.outer(np.ones(3), np.ones(3))  # singular PSD
+    sample = cholesky_sample(mean, rank_one, make_rng(0))
+    assert sample.shape == (3,)
+    assert np.all(np.isfinite(sample))
+
+
+def test_cholesky_sample_rejects_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        cholesky_sample(np.zeros((2, 2)), np.eye(2), make_rng(0))
+    with pytest.raises(ConfigurationError):
+        cholesky_sample(np.zeros(2), np.eye(3), make_rng(0))
+
+
+def test_cholesky_sample_rejects_indefinite_covariance():
+    indefinite = np.array([[1.0, 0.0], [0.0, -5.0]])
+    with pytest.raises(ConfigurationError):
+        cholesky_sample(np.zeros(2), indefinite, make_rng(0))
+
+
+def test_cholesky_sample_zero_covariance_returns_mean():
+    mean = np.array([0.3, 0.7])
+    sample = cholesky_sample(mean, np.zeros((2, 2)), make_rng(0))
+    assert np.allclose(sample, mean, atol=1e-4)

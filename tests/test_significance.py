@@ -1,0 +1,84 @@
+"""Paired permutation tests and dominance counts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.significance import dominance_count, paired_permutation_test
+
+
+def test_identical_samples_are_not_significant():
+    values = [1.0, 2.0, 3.0, 4.0]
+    mean_diff, p_value = paired_permutation_test(values, values)
+    assert mean_diff == 0.0
+    assert p_value == 1.0
+
+
+def test_consistent_large_gap_is_significant():
+    first = [10.0, 11.0, 12.0, 9.0, 10.5, 11.5, 10.2, 9.8]
+    second = [1.0, 2.0, 1.5, 0.5, 1.2, 2.2, 0.8, 1.1]
+    mean_diff, p_value = paired_permutation_test(first, second)
+    assert mean_diff > 8
+    # Exact test over 2^8 sign flips: only the 2 all-same-sign flips
+    # reach the observed statistic.
+    assert p_value == pytest.approx(2 / 256)
+
+
+def test_exact_p_value_single_pair():
+    # One pair: both sign flips give the same |mean|, p = 1.
+    _, p_value = paired_permutation_test([3.0], [1.0])
+    assert p_value == 1.0
+
+
+def test_monte_carlo_branch_for_large_samples():
+    rng = np.random.default_rng(0)
+    first = rng.normal(1.0, 0.1, size=40)
+    second = rng.normal(0.0, 0.1, size=40)
+    mean_diff, p_value = paired_permutation_test(first, second, seed=1)
+    assert mean_diff == pytest.approx(1.0, abs=0.1)
+    assert p_value < 0.01
+
+
+def test_monte_carlo_null_is_calibrated():
+    rng = np.random.default_rng(3)
+    first = rng.normal(size=40)
+    second = rng.normal(size=40)
+    _, p_value = paired_permutation_test(first, second, seed=1)
+    assert p_value > 0.01  # no real effect -> rarely significant
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        paired_permutation_test([1.0], [1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        paired_permutation_test([], [])
+    with pytest.raises(ConfigurationError):
+        dominance_count([1.0], [])
+
+
+def test_dominance_count():
+    assert dominance_count([3, 2, 1], [1, 2, 0]) == (2, 3)
+    assert dominance_count([1, 1], [2, 2]) == (0, 2)
+
+
+def test_end_to_end_ucb_vs_ts_significance():
+    """The headline comparison with an actual p-value."""
+    from repro.analysis import replicate_policies
+    from repro.datasets.synthetic import SyntheticConfig
+
+    config = SyntheticConfig(
+        num_events=20,
+        horizon=600,
+        dim=5,
+        capacity_mean=20.0,
+        capacity_std=8.0,
+    )
+    result = replicate_policies(
+        config, seeds=[0, 1, 2, 3, 4], policy_names=("UCB", "TS")
+    )
+    mean_diff, p_value = paired_permutation_test(
+        result.accept_ratios["UCB"], result.accept_ratios["TS"]
+    )
+    assert mean_diff > 0.1
+    # Exact test with 5 pairs: the strongest attainable p is 2/32.
+    assert p_value == pytest.approx(2 / 32)

@@ -1,0 +1,91 @@
+"""Synthetic world generation (Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.exceptions import ConfigurationError
+
+
+def test_paper_default_matches_table4_bold_values():
+    config = SyntheticConfig.paper_default()
+    assert config.num_events == 500
+    assert config.horizon == 100_000
+    assert config.dim == 20
+    assert config.theta_distribution == "uniform"
+    assert config.context_distribution == "uniform"
+    assert (config.capacity_mean, config.capacity_std) == (200.0, 100.0)
+    assert (config.user_capacity_min, config.user_capacity_max) == (1, 5)
+    assert config.conflict_ratio == 0.25
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(num_events=0)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(horizon=0)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(dim=0)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(conflict_ratio=1.5)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(theta_distribution="zipf")
+
+
+def test_with_overrides_is_a_functional_update():
+    base = SyntheticConfig.scaled_default(seed=1)
+    changed = base.with_overrides(dim=5)
+    assert changed.dim == 5
+    assert base.dim == 20
+    assert changed.seed == 1
+
+
+def test_world_is_deterministic_in_its_seed(small_config):
+    a = build_world(small_config)
+    b = build_world(small_config)
+    assert np.allclose(a.theta, b.theta)
+    assert np.allclose(a.capacities, b.capacities)
+    assert a.conflict_pairs == b.conflict_pairs
+
+
+def test_different_seeds_differ():
+    a = build_world(SyntheticConfig.scaled_default(seed=0))
+    b = build_world(SyntheticConfig.scaled_default(seed=1))
+    assert not np.allclose(a.theta, b.theta)
+
+
+def test_world_static_parts_are_consistent(small_world, small_config):
+    assert small_world.theta.shape == (small_config.dim,)
+    assert np.linalg.norm(small_world.theta) == pytest.approx(1.0)
+    assert small_world.capacities.shape == (small_config.num_events,)
+    assert small_world.capacities.min() >= 1
+    assert small_world.conflicts.conflict_ratio() == pytest.approx(
+        small_config.conflict_ratio, abs=0.02
+    )
+
+
+def test_context_sampler_rows_are_unit_normalized(small_world):
+    sampler = small_world.make_context_sampler()
+    contexts = sampler.sample(np.random.default_rng(0))
+    assert contexts.shape == (12, 4)
+    assert np.allclose(np.linalg.norm(contexts, axis=1), 1.0)
+
+
+def test_accept_probabilities_are_clipped(small_world):
+    contexts = np.vstack([small_world.theta, -small_world.theta])
+    probabilities = small_world.accept_probabilities(contexts)
+    assert probabilities[0] == pytest.approx(1.0)
+    assert probabilities[1] == 0.0
+
+
+def test_evaluation_contexts_are_deterministic(small_world):
+    assert np.allclose(
+        small_world.evaluation_contexts(), small_world.evaluation_contexts()
+    )
+
+
+def test_fresh_stores_do_not_share_state(small_world):
+    store_a = small_world.make_store()
+    store_b = small_world.make_store()
+    store_a.register(0)
+    assert store_b.remaining(0) == small_world.capacities[0]

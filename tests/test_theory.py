@@ -1,0 +1,93 @@
+"""Theoretical bounds: formulas, monotonicity, and envelope property."""
+
+import math
+
+import pytest
+
+from repro.bandits import OptPolicy, UcbPolicy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.exceptions import ConfigurationError
+from repro.simulation.runner import run_policy
+from repro.theory import confidence_radius, cucb_regret_bound, ts_sampling_width
+
+
+def test_confidence_radius_closed_form():
+    value = confidence_radius(
+        num_observations=0, dim=4, lam=1.0, delta=0.1
+    )
+    assert value == pytest.approx(math.sqrt(4 * math.log(10)) + 1.0)
+
+
+def test_confidence_radius_grows_with_n_and_d():
+    base = confidence_radius(100, dim=5)
+    assert confidence_radius(1000, dim=5) > base
+    assert confidence_radius(100, dim=20) > base
+
+
+def test_confidence_radius_shrinks_with_delta():
+    assert confidence_radius(100, dim=5, delta=0.5) < confidence_radius(
+        100, dim=5, delta=0.01
+    )
+
+
+def test_confidence_radius_validation():
+    with pytest.raises(ConfigurationError):
+        confidence_radius(-1, 5)
+    with pytest.raises(ConfigurationError):
+        confidence_radius(10, 0)
+    with pytest.raises(ConfigurationError):
+        confidence_radius(10, 5, lam=0)
+    with pytest.raises(ConfigurationError):
+        confidence_radius(10, 5, delta=1.0)
+
+
+def test_ts_sampling_width_matches_the_policy():
+    from repro.bandits import ThompsonSamplingPolicy
+
+    policy = ThompsonSamplingPolicy(dim=7, delta=0.2, seed=0)
+    assert ts_sampling_width(50, dim=7, delta=0.2) == pytest.approx(
+        policy.sampling_width(50)
+    )
+
+
+def test_ts_sampling_width_validation():
+    with pytest.raises(ConfigurationError):
+        ts_sampling_width(0, 5)
+    with pytest.raises(ConfigurationError):
+        ts_sampling_width(10, 5, delta=2.0)
+
+
+def test_regret_bound_grows_sublinearly_in_t():
+    """The envelope is O(sqrt(T) log T): quadrupling T should far less
+    than quadruple the bound."""
+    small = cucb_regret_bound(horizon=1000, dim=10, max_arrangement_size=5)
+    large = cucb_regret_bound(horizon=4000, dim=10, max_arrangement_size=5)
+    assert large < 4 * small
+    assert large > small
+
+
+def test_regret_bound_validation():
+    with pytest.raises(ConfigurationError):
+        cucb_regret_bound(0, 10, 5)
+    with pytest.raises(ConfigurationError):
+        cucb_regret_bound(10, 10, 0)
+
+
+def test_measured_ucb_regret_sits_below_the_envelope():
+    """The whole point: the theory is an upper envelope for practice."""
+    config = SyntheticConfig(
+        num_events=20,
+        horizon=1000,
+        dim=4,
+        capacity_mean=1000.0,
+        capacity_std=1.0,
+        seed=0,
+    )
+    world = build_world(config)
+    opt = run_policy(OptPolicy(world.theta), world, run_seed=0)
+    ucb = run_policy(UcbPolicy(dim=4, alpha=2.0), world, run_seed=0)
+    measured = opt.total_reward - ucb.total_reward
+    envelope = cucb_regret_bound(
+        horizon=1000, dim=4, max_arrangement_size=config.user_capacity_max
+    )
+    assert measured < envelope

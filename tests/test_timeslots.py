@@ -1,0 +1,92 @@
+"""Time slots and overlap-derived conflicts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebsn.timeslots import TimeSlot, conflicts_from_slots
+from repro.exceptions import ConfigurationError
+
+
+def test_slot_validation():
+    with pytest.raises(ConfigurationError):
+        TimeSlot(day_index=-1, start_hour=10.0)
+    with pytest.raises(ConfigurationError):
+        TimeSlot(day_index=0, start_hour=24.0)
+    with pytest.raises(ConfigurationError):
+        TimeSlot(day_index=0, start_hour=10.0, duration_hours=0.0)
+
+
+def test_weekday_names():
+    assert TimeSlot(0, 10.0).weekday == "Mon"
+    assert TimeSlot(6, 10.0).weekday == "Sun"
+    assert TimeSlot(9, 10.0).weekday == "Wed"  # wraps into week two
+
+
+def test_papers_example_overlap():
+    """A 7:30pm concert conflicts with a 7:00pm one on the same day."""
+    first = TimeSlot(day_index=3, start_hour=19.5)
+    second = TimeSlot(day_index=3, start_hour=19.0)
+    assert first.overlaps(second)
+    assert second.overlaps(first)
+
+
+def test_different_days_never_overlap():
+    assert not TimeSlot(0, 19.0).overlaps(TimeSlot(1, 19.0))
+
+
+def test_back_to_back_slots_do_not_overlap():
+    first = TimeSlot(0, 10.0, duration_hours=2.0)
+    second = TimeSlot(0, 12.0, duration_hours=2.0)
+    assert not first.overlaps(second)
+
+
+def test_containment_overlaps():
+    long_slot = TimeSlot(0, 10.0, duration_hours=8.0)
+    short_slot = TimeSlot(0, 12.0, duration_hours=1.0)
+    assert long_slot.overlaps(short_slot)
+    assert short_slot.overlaps(long_slot)
+
+
+def test_conflicts_from_slots_matches_pairwise_check():
+    slots = [
+        TimeSlot(0, 19.0),
+        TimeSlot(0, 19.5),
+        TimeSlot(0, 10.0, duration_hours=1.0),
+        TimeSlot(1, 19.0),
+    ]
+    assert conflicts_from_slots(slots) == [(0, 1)]
+
+
+def test_conflicts_from_slots_empty_input():
+    assert conflicts_from_slots([]) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    days=st.lists(st.integers(0, 2), min_size=2, max_size=8),
+    seed=st.integers(0, 1000),
+)
+def test_conflicts_match_naive_quadratic(days, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    slots = [
+        TimeSlot(day, float(rng.uniform(0, 20)), float(rng.uniform(0.5, 4)))
+        for day in days
+    ]
+    fast = set(conflicts_from_slots(slots))
+    naive = {
+        (i, j)
+        for i in range(len(slots))
+        for j in range(i + 1, len(slots))
+        if slots[i].overlaps(slots[j])
+    }
+    assert fast == naive
+
+
+def test_damai_events_expose_slots(damai):
+    for event in damai.events[:5]:
+        slot = event.slot
+        assert slot.day_index == event.day_index
+        assert slot.start_hour == event.start_hour

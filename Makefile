@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results claims replicate examples clean
+.PHONY: install test bench bench-perf results claims replicate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-perf:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --out BENCH_parallel.json
 
 results:
 	$(PYTHON) -m repro run all --out results --quiet

@@ -16,6 +16,8 @@ from repro.bandits import POLICY_NAMES, OptPolicy, make_policy
 from repro.datasets.synthetic import SyntheticConfig, build_world
 from repro.exceptions import ConfigurationError
 from repro.io.runstore import RunStore
+from repro.parallel import ReplicationCell, resolve_jobs, run_replication_cell, run_work_units
+from repro.simulation.history import History
 from repro.simulation.runner import run_policy
 
 
@@ -74,11 +76,19 @@ def replicate_policies(
     policy_seed: int = 1,
     store: Optional[RunStore] = None,
     experiment: str = "replication",
+    jobs: Optional[int] = 1,
 ) -> ReplicationResult:
     """Run each policy on every seed; optionally log into a RunStore.
 
     Each seed rebuilds the world (new theta/capacities/conflicts) *and*
     the run streams, so variation across seeds captures both sources.
+
+    ``jobs`` fans the per-seed cells out over a process pool
+    (``0`` = all CPUs).  Each cell plays the whole suite on one shared
+    stream via the fleet runner; common-random-number coupling makes
+    the cells independent, so the merged metrics are **identical** to
+    ``jobs=1`` — only wall clock changes.  RunStore logging always
+    happens in the parent process, in seed order.
     """
     seeds = tuple(seeds)
     if not seeds:
@@ -87,6 +97,22 @@ def replicate_policies(
     result = ReplicationResult(config=config, seeds=seeds, horizon=horizon)
     result.accept_ratios = {name: [] for name in ("OPT", *policy_names)}
     result.total_regrets = {name: [] for name in policy_names}
+    if resolve_jobs(jobs) > 1:
+        cells = [
+            ReplicationCell(
+                config=config,
+                seed=seed,
+                horizon=horizon,
+                policy_names=tuple(policy_names),
+                policy_seed=policy_seed,
+            )
+            for seed in seeds
+        ]
+        for seed, histories in zip(
+            seeds, run_work_units(run_replication_cell, cells, jobs=jobs)
+        ):
+            _merge_seed(result, histories, policy_names, store, experiment, seed)
+        return result
     for seed in seeds:
         world = build_world(config.with_overrides(seed=seed))
         opt_history = run_policy(
@@ -111,3 +137,29 @@ def replicate_policies(
                     reference=opt_history,
                 )
     return result
+
+
+def _merge_seed(
+    result: ReplicationResult,
+    histories: Dict[str, History],
+    policy_names: Sequence[str],
+    store: Optional[RunStore],
+    experiment: str,
+    seed: int,
+) -> None:
+    """Fold one parallel cell's histories into ``result`` (seed order)."""
+    opt_history = histories["OPT"]
+    result.accept_ratios["OPT"].append(opt_history.overall_accept_ratio)
+    if store is not None:
+        store.record_history(experiment, opt_history, seed=seed, run_seed=seed)
+    for name in policy_names:
+        history = histories[name]
+        result.accept_ratios[name].append(history.overall_accept_ratio)
+        result.total_regrets[name].append(
+            opt_history.total_reward - history.total_reward
+        )
+        if store is not None:
+            store.record_history(
+                experiment, history, seed=seed, run_seed=seed, reference=opt_history
+            )
+    return None

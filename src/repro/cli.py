@@ -64,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument(
         "--store", default=None, help="optional SQLite file to log runs into"
     )
+    replicate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the per-seed cells (0 = all CPUs); "
+            "results are identical to --jobs 1, only faster"
+        ),
+    )
 
     claims = sub.add_parser(
         "claims", help="re-certify the paper's summary claims"
@@ -151,7 +160,11 @@ def _replicate(args: argparse.Namespace) -> int:
     store = RunStore(args.store) if args.store else None
     try:
         result = replicate_policies(
-            config, seeds=range(args.seeds), horizon=args.horizon, store=store
+            config,
+            seeds=range(args.seeds),
+            horizon=args.horizon,
+            store=store,
+            jobs=args.jobs,
         )
     finally:
         if store is not None:

@@ -11,7 +11,7 @@ flips, so policies can be compared with common random numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,11 @@ from repro.datasets.distributions import (
     sample_unit_theta,
     unit_normalize_rows,
 )
-from repro.ebsn.conflicts import BaseConflictGraph, ConflictGraph, random_conflicts
+from repro.ebsn.conflicts import (
+    BaseConflictGraph,
+    ConflictGraph,
+    random_conflict_array,
+)
 from repro.ebsn.events import EventStore
 from repro.ebsn.users import UserArrivalStream
 from repro.exceptions import ConfigurationError
@@ -117,23 +121,42 @@ class SyntheticWorld:
         config: SyntheticConfig,
         theta: np.ndarray,
         capacities: np.ndarray,
-        conflict_pairs: List[Tuple[int, int]],
+        conflict_pairs: "List[Tuple[int, int]] | np.ndarray",
     ) -> None:
         self.config = config
         self.theta = theta
         self.capacities = capacities
-        self.conflict_pairs = conflict_pairs
+        # ``conflict_pairs`` may arrive as an ``(n, 2)`` id array (the
+        # fast path :func:`build_world` uses) or a list of tuples; the
+        # tuple form is materialised lazily because only diagnostics and
+        # tests read it, while every build feeds the graph below.
+        self._conflict_pair_input = conflict_pairs
+        self._conflict_pair_list: Optional[List[Tuple[int, int]]] = None
         # The conflict graph is immutable; one shared instance serves all runs.
         self.conflicts: BaseConflictGraph = ConflictGraph(
             config.num_events, conflict_pairs
         )
+
+    @property
+    def conflict_pairs(self) -> List[Tuple[int, int]]:
+        """Conflicting ``(i, j)`` pairs as a list of int tuples."""
+        if self._conflict_pair_list is None:
+            pairs = self._conflict_pair_input
+            if isinstance(pairs, np.ndarray):
+                pairs = pairs.reshape(-1, 2)
+                self._conflict_pair_list = list(
+                    zip(pairs[:, 0].tolist(), pairs[:, 1].tolist())
+                )
+            else:
+                self._conflict_pair_list = [(int(i), int(j)) for i, j in pairs]
+        return self._conflict_pair_list
 
     # ------------------------------------------------------------------
     # Per-run factories
     # ------------------------------------------------------------------
     def make_store(self) -> EventStore:
         """A fresh event store with full capacities."""
-        return EventStore.from_capacities(self.capacities.tolist())
+        return EventStore.from_capacities(self.capacities)
 
     def make_arrivals(self, run_seed: int) -> UserArrivalStream:
         """A fresh user arrival stream for one run."""
@@ -179,7 +202,7 @@ def build_world(config: SyntheticConfig) -> SyntheticWorld:
         config.capacity_std,
         np.random.default_rng(capacity_seed),
     )
-    pairs = random_conflicts(
+    pairs = random_conflict_array(
         config.num_events,
         config.conflict_ratio,
         np.random.default_rng(conflict_seed),

@@ -62,6 +62,16 @@ class BaseConflictGraph:
             mask[neighbor] = True
         return mask
 
+    def neighbor_mask_view(self, event_id: int) -> np.ndarray:
+        """Like :meth:`neighbor_mask` but *may* alias internal storage.
+
+        Hot-path accessor for read-only consumers (the greedy oracle
+        ORs it into its own scratch mask every arranged event); callers
+        must not mutate the result.  The base implementation simply
+        builds a fresh mask.
+        """
+        return self.neighbor_mask(event_id)
+
     def pairs(self) -> Iterator[Pair]:
         """Iterate all conflicting pairs ``(i, j)`` with ``i < j``."""
         raise NotImplementedError
@@ -98,8 +108,29 @@ class DenseConflictGraph(BaseConflictGraph):
             raise ConfigurationError(f"num_events must be >= 1, got {num_events}")
         self.num_events = num_events
         self._matrix = np.zeros((num_events, num_events), dtype=bool)
-        for i, j in pairs:
-            self.add(i, j)
+        if isinstance(pairs, np.ndarray):
+            # Fast path: an ``(n, 2)`` id array goes straight in without
+            # a 125k-tuple Python round trip (world builds at |V|=1000
+            # spend more time boxing pairs than sampling them).
+            pair_array = np.asarray(pairs, dtype=int).reshape(-1, 2)
+        else:
+            pair_array = np.asarray(list(pairs), dtype=int)
+        if pair_array.size:
+            # Bulk-validate and set the whole pair set at once: the
+            # synthetic default (cr=0.25, |V|=1000) is ~125k pairs, far
+            # too many for a per-pair Python ``add`` loop.
+            rows, cols = pair_array[:, 0], pair_array[:, 1]
+            if (rows == cols).any():
+                offender = int(rows[rows == cols][0])
+                raise ConfigurationError(
+                    f"an event cannot conflict with itself: {offender}"
+                )
+            if (pair_array < 0).any() or (pair_array >= num_events).any():
+                raise ConfigurationError(
+                    f"event ids must be in 0..{num_events - 1}"
+                )
+            self._matrix[rows, cols] = True
+            self._matrix[cols, rows] = True
 
     def add(self, i: int, j: int) -> None:
         i, j = _normalize_pair(i, j)
@@ -119,6 +150,28 @@ class DenseConflictGraph(BaseConflictGraph):
             return False
         return bool(self._matrix[event_id, list(others)].any())
 
+    def is_independent(self, events: Sequence[int]) -> bool:
+        events = list(events)
+        num = len(events)
+        matrix = self._matrix
+        if num < 2:
+            for event_id in events:
+                self._check_id(event_id)
+            return True
+        for event_id in events:
+            if not 0 <= event_id < self.num_events:
+                self._check_id(event_id)  # raises with the standard message
+        if num <= 16:
+            # Arrangements are at most ``c_u`` events; a scalar pair loop
+            # beats the ``np.ix_`` submatrix gather by ~4x at that size.
+            for idx in range(num - 1):
+                row = matrix[events[idx]]
+                for jdx in range(idx + 1, num):
+                    if row[events[jdx]]:
+                        return False
+            return True
+        return not matrix[np.ix_(events, events)].any()
+
     def conflict_mask(self, events: Sequence[int]) -> np.ndarray:
         """Boolean mask of all events conflicting with any of ``events``."""
         if not len(events):
@@ -132,6 +185,10 @@ class DenseConflictGraph(BaseConflictGraph):
     def neighbor_mask(self, event_id: int) -> np.ndarray:
         self._check_id(event_id)
         return self._matrix[event_id].copy()
+
+    def neighbor_mask_view(self, event_id: int) -> np.ndarray:
+        self._check_id(event_id)
+        return self._matrix[event_id]
 
     def pairs(self) -> Iterator[Pair]:
         rows, cols = np.nonzero(np.triu(self._matrix, k=1))
@@ -203,19 +260,28 @@ def ConflictGraph(
     exceeds ``_DENSE_THRESHOLD`` of all possible pairs (or when |V| is
     small enough that the matrix is cheap anyway).
     """
-    pair_list = [(int(i), int(j)) for i, j in pairs]
+    if isinstance(pairs, np.ndarray):
+        pair_input: "np.ndarray | List[Pair]" = pairs.reshape(-1, 2)
+        num_pairs = pair_input.shape[0]
+    else:
+        pair_input = [(int(i), int(j)) for i, j in pairs]
+        num_pairs = len(pair_input)
     if dense is None:
         total = max(num_events * (num_events - 1) // 2, 1)
-        dense = num_events <= 2048 or len(pair_list) / total > _DENSE_THRESHOLD
+        dense = num_events <= 2048 or num_pairs / total > _DENSE_THRESHOLD
+    if not dense and isinstance(pair_input, np.ndarray):
+        pair_input = list(zip(pair_input[:, 0].tolist(), pair_input[:, 1].tolist()))
     backend = DenseConflictGraph if dense else SparseConflictGraph
-    return backend(num_events, pair_list)
+    return backend(num_events, pair_input)
 
 
-def random_conflicts(
+def random_conflict_array(
     num_events: int, conflict_ratio: float, seed: RngLike = None
-) -> List[Pair]:
+) -> np.ndarray:
     """Sample ``round(cr * |V| (|V|-1) / 2)`` distinct conflicting pairs.
 
+    Returns an ``(n, 2)`` int array with ``i < j`` per row — the form
+    :func:`ConflictGraph` ingests without any per-pair Python boxing.
     Matches Table 4 of the paper where ``cr`` ranges over
     {0, 0.25, 0.5, 0.75, 1}.
     """
@@ -226,15 +292,22 @@ def random_conflicts(
     total = num_events * (num_events - 1) // 2
     target = int(round(conflict_ratio * total))
     if target == 0:
-        return []
+        return np.empty((0, 2), dtype=int)
     rng = make_rng(seed)
     chosen = rng.choice(total, size=target, replace=False)
     # Unrank each flat index into the (i, j) pair with i < j.
-    pairs: List[Pair] = []
     # Row i (0-based) owns indices [offset_i, offset_i + (|V|-1-i)).
-    offsets = np.cumsum([0] + [num_events - 1 - i for i in range(num_events - 1)])
+    offsets = np.concatenate(
+        [[0], np.cumsum(num_events - 1 - np.arange(num_events - 1))]
+    )
     rows = np.searchsorted(offsets, chosen, side="right") - 1
     cols = chosen - offsets[rows] + rows + 1
-    for i, j in zip(rows.tolist(), cols.tolist()):
-        pairs.append((int(i), int(j)))
-    return pairs
+    return np.stack([rows, cols], axis=1).astype(int, copy=False)
+
+
+def random_conflicts(
+    num_events: int, conflict_ratio: float, seed: RngLike = None
+) -> List[Pair]:
+    """List-of-tuples form of :func:`random_conflict_array` (same draws)."""
+    pair_array = random_conflict_array(num_events, conflict_ratio, seed)
+    return list(zip(pair_array[:, 0].tolist(), pair_array[:, 1].tolist()))

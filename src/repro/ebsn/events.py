@@ -62,7 +62,7 @@ class EventStore:
     """
 
     def __init__(self, events: Iterable[Event]) -> None:
-        self._events: List[Event] = sorted(events, key=lambda e: e.event_id)
+        self._events: Optional[List[Event]] = sorted(events, key=lambda e: e.event_id)
         if not self._events:
             raise ConfigurationError("an EventStore needs at least one event")
         ids = [e.event_id for e in self._events]
@@ -70,6 +70,7 @@ class EventStore:
             raise ConfigurationError(
                 "event ids must be the dense range 0..|V|-1, got " + repr(ids[:10])
             )
+        self._num_events = len(self._events)
         self._initial_capacity = np.array(
             [e.capacity for e in self._events], dtype=float
         )
@@ -80,8 +81,34 @@ class EventStore:
     # ------------------------------------------------------------------
     @classmethod
     def from_capacities(cls, capacities: Sequence[float]) -> "EventStore":
-        """Build a bare store (no metadata) from a capacity sequence."""
-        return cls(Event(i, float(c)) for i, c in enumerate(capacities))
+        """Build a bare store (no metadata) from a capacity sequence.
+
+        Fast path used once per policy per run: capacities are
+        validated vectorised and the :class:`Event` records are
+        materialised lazily (only metadata readers touch them), so a
+        fresh |V|=1000 store costs one array copy instead of a thousand
+        dataclass constructions.
+        """
+        caps = np.asarray(capacities, dtype=float).reshape(-1)
+        if caps.size == 0:
+            raise ConfigurationError("an EventStore needs at least one event")
+        if not bool((caps >= 0).all()):  # NaN fails too, like Event itself
+            bad = caps[~(caps >= 0)][0]
+            raise ConfigurationError(f"capacity must be non-negative, got {bad}")
+        store = cls.__new__(cls)
+        store._events = None
+        store._num_events = int(caps.size)
+        store._initial_capacity = caps.copy()
+        store._remaining = caps.copy()
+        return store
+
+    def _event_records(self) -> List[Event]:
+        """The per-event records, materialised on first metadata access."""
+        if self._events is None:
+            self._events = [
+                Event(i, float(c)) for i, c in enumerate(self._initial_capacity)
+            ]
+        return self._events
 
     @classmethod
     def with_unlimited_capacity(cls, num_events: int) -> "EventStore":
@@ -92,17 +119,17 @@ class EventStore:
     # Catalogue access
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._events)
+        return self._num_events
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        return iter(self._event_records())
 
     def __getitem__(self, event_id: int) -> Event:
         self._check_id(event_id)
-        return self._events[event_id]
+        return self._event_records()[event_id]
 
     def _check_id(self, event_id: int) -> None:
-        if not 0 <= event_id < len(self._events):
+        if not 0 <= event_id < self._num_events:
             raise UnknownEventError(event_id)
 
     # ------------------------------------------------------------------
@@ -127,6 +154,25 @@ class EventStore:
         """Whether the event can still take at least one attendee."""
         self._check_id(event_id)
         return bool(self._remaining[event_id] > 0)
+
+    def all_available(self, event_ids: Sequence[int]) -> bool:
+        """Whether *every* listed event has remaining capacity.
+
+        The arrangement-validation hot path: arrangements hold at most
+        ``c_u`` events, so a scalar loop beats building an index array.
+        Unknown ids raise (checked for the whole list before any
+        availability verdict), exactly like the scalar accessor.
+        """
+        ids = [int(event_id) for event_id in event_ids]
+        num_events = self._num_events
+        for event_id in ids:
+            if not 0 <= event_id < num_events:
+                raise UnknownEventError(event_id)
+        remaining = self._remaining
+        for event_id in ids:
+            if remaining[event_id] <= 0:
+                return False
+        return True
 
     def available_mask(self) -> np.ndarray:
         """Boolean mask over event ids with remaining capacity > 0."""

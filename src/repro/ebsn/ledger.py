@@ -64,8 +64,8 @@ class RegistrationLedger:
         entry = LedgerEntry(
             time_step=time_step,
             user_id=user_id,
-            arranged=tuple(int(e) for e in arranged),
-            accepted=tuple(int(e) for e in accepted),
+            arranged=tuple(map(int, arranged)),
+            accepted=tuple(map(int, accepted)),
         )
         self._entries.append(entry)
         return entry

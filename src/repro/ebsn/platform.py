@@ -55,9 +55,12 @@ class Platform:
                 f"arranged {len(arranged)} events but user capacity is "
                 f"{user.capacity}"
             )
-        for event_id in arranged:
-            if not self.store.is_available(event_id):
-                raise CapacityError(f"event {event_id} has no remaining capacity")
+        if not self.store.all_available(arranged):
+            for event_id in arranged:  # failure path: name the offender
+                if not self.store.is_available(event_id):
+                    raise CapacityError(
+                        f"event {event_id} has no remaining capacity"
+                    )
         if not self.conflicts.is_independent(arranged):
             raise ConflictError(f"arrangement {arranged} contains a conflict")
 

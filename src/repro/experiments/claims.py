@@ -105,15 +105,25 @@ def check_ucb_escapes_lock_in(horizon: int = 300) -> Tuple[bool, str]:
     )
 
 
-def check_efficiency_ordering(rounds: int = 150) -> Tuple[bool, str]:
+def check_efficiency_ordering(rounds: int = 150, repeats: int = 3) -> Tuple[bool, str]:
     """Claim 3: all algorithms are fast; eGreedy/Exploit fastest of the
-    learners, Random fastest overall."""
+    learners, Random fastest overall.
+
+    Each policy is timed ``repeats`` times (fresh policy and streams)
+    and the minimum is kept — after the batched-Woodbury/top-k kernel
+    work the per-round margins are a few tens of microseconds, so a
+    single noisy pass is not a reliable ranking.
+    """
     config = SyntheticConfig.scaled_default(seed=0)
     world = build_world(config)
     times = {}
     for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
-        policy = make_policy(name, dim=config.dim, seed=1)
-        times[name] = time_policy_rounds(policy, world, rounds=rounds)
+        times[name] = min(
+            time_policy_rounds(
+                make_policy(name, dim=config.dim, seed=1), world, rounds=rounds
+            )
+            for _ in range(max(repeats, 1))
+        )
     holds = (
         times["Random"] < times["UCB"]
         and times["Exploit"] < times["UCB"]

@@ -1,0 +1,33 @@
+"""Deterministic parallel experiment execution.
+
+``repro.parallel`` fans independent experiment cells out over a
+process pool and merges the results **bit-for-bit identically** to the
+serial path, whatever the worker count.  See
+:mod:`repro.parallel.executor` for the ordering guarantees and
+:mod:`repro.parallel.cells` for the FASEA work units.
+
+Entry points that accept ``jobs=``:
+
+* :func:`repro.analysis.replication.replicate_policies`
+* :func:`repro.experiments.grid.sweep`
+* ``fasea replicate --jobs N`` on the command line
+"""
+
+from repro.parallel.cells import (
+    GridCell,
+    GridCellResult,
+    ReplicationCell,
+    run_grid_cell,
+    run_replication_cell,
+)
+from repro.parallel.executor import resolve_jobs, run_work_units
+
+__all__ = [
+    "GridCell",
+    "GridCellResult",
+    "ReplicationCell",
+    "resolve_jobs",
+    "run_grid_cell",
+    "run_replication_cell",
+    "run_work_units",
+]

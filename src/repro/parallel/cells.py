@@ -1,0 +1,100 @@
+"""FASEA work units: picklable experiment cells and their runners.
+
+A *cell* is the atom the executor fans out: one ``(world seed, run
+seed)`` slice of a replication, or one override combination of a grid
+sweep.  Within a cell the whole policy suite (OPT + learners) is played
+with :func:`~repro.simulation.fleet.run_policy_fleet`, which draws each
+round's user/context/threshold streams **once** and steps every policy
+against them in lockstep — bit-for-bit identical to running each policy
+individually (``tests/test_fleet.py`` asserts this), but without paying
+the ``|V| x d`` context generation once per policy.
+
+Cell runners are module-level functions taking a single frozen
+dataclass payload, so they pickle by reference into worker processes
+and stay trivially callable inline when ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.bandits import OptPolicy, make_policy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.simulation.fleet import run_policy_fleet
+from repro.simulation.history import History
+
+#: Reserved fleet key for the full-knowledge reference policy.
+OPT_KEY = "OPT"
+
+
+@dataclass(frozen=True)
+class ReplicationCell:
+    """One seed of a multi-seed replication (OPT + the policy suite)."""
+
+    config: SyntheticConfig
+    seed: int
+    horizon: int
+    policy_names: Tuple[str, ...]
+    policy_seed: int
+
+
+def run_replication_cell(cell: ReplicationCell) -> Dict[str, History]:
+    """Play OPT and every policy of one replication seed; key by name.
+
+    The world is rebuilt from ``config`` with the cell's seed and every
+    run uses ``run_seed = seed`` — exactly as the serial
+    :func:`~repro.analysis.replication.replicate_policies` loop does.
+    """
+    world = build_world(cell.config.with_overrides(seed=cell.seed))
+    policies = {OPT_KEY: OptPolicy(world.theta)}
+    for name in cell.policy_names:
+        policies[name] = make_policy(
+            name, dim=cell.config.dim, seed=cell.policy_seed
+        )
+    return run_policy_fleet(
+        policies, world, horizon=cell.horizon, run_seed=cell.seed
+    )
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One override combination of a parameter-grid sweep."""
+
+    config: SyntheticConfig
+    overrides: Tuple[Tuple[str, object], ...]
+    horizon: int
+    policy_names: Tuple[str, ...]
+    run_seed: int
+    policy_seed: int
+
+
+@dataclass(frozen=True)
+class GridCellResult:
+    """Scalar outcomes of one grid cell, ready for merging."""
+
+    overrides: Tuple[Tuple[str, object], ...]
+    accept_ratios: Dict[str, float]
+    total_regrets: Dict[str, float]
+
+
+def run_grid_cell(cell: GridCell) -> GridCellResult:
+    """Run the policy suite on one grid cell via the fleet runner."""
+    world = build_world(cell.config)
+    policies = {OPT_KEY: OptPolicy(world.theta)}
+    for name in cell.policy_names:
+        policies[name] = make_policy(
+            name, dim=cell.config.dim, seed=cell.policy_seed
+        )
+    histories = run_policy_fleet(
+        policies, world, horizon=cell.horizon, run_seed=cell.run_seed
+    )
+    opt_history = histories[OPT_KEY]
+    accept = {OPT_KEY: opt_history.overall_accept_ratio}
+    regrets: Dict[str, float] = {}
+    for name in cell.policy_names:
+        accept[name] = histories[name].overall_accept_ratio
+        regrets[name] = opt_history.total_reward - histories[name].total_reward
+    return GridCellResult(
+        overrides=cell.overrides, accept_ratios=accept, total_regrets=regrets
+    )

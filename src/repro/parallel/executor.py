@@ -1,0 +1,95 @@
+"""Deterministic process-pool execution of independent work units.
+
+The experiment layer is embarrassingly parallel: common-random-number
+coupling (DESIGN.md §5.1) means every ``(world seed, run seed, policy)``
+cell draws its streams from its own seed tree, so cells can run in any
+order — or concurrently — without perturbing each other.  What *must*
+not change with the worker count is the merged output.  This module
+guarantees that by construction:
+
+* work units are submitted in caller order and results are collected
+  **by submission index**, never by completion order;
+* ``jobs=1`` bypasses the pool entirely and runs the units inline, so
+  the serial path is byte-identical to pre-parallel behaviour (and
+  keeps tracebacks trivial);
+* worker functions receive plain picklable payloads and return plain
+  picklable results — no shared state, no queues to drain.
+
+Failures in any unit cancel the remaining futures and re-raise the
+original exception in the parent, annotated with the unit index.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument.
+
+    ``None`` and ``1`` mean serial; ``0`` means "all available CPUs";
+    anything negative is rejected.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def run_work_units(
+    fn: Callable[[T], R],
+    units: Sequence[T],
+    jobs: Optional[int] = 1,
+) -> List[R]:
+    """Apply ``fn`` to every unit, optionally across a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A **module-level** callable (it is pickled by reference when
+        ``jobs > 1``) mapping one work unit to its result.
+    units:
+        The work units, each a picklable payload.
+    jobs:
+        Worker processes.  ``1``/``None`` runs inline (no pool, no
+        pickling); ``0`` uses every CPU; ``> 1`` spawns that many
+        workers (capped at the number of units *and* at the machine's
+        CPU count — oversubscribing cores cannot finish CPU-bound
+        cells any sooner, it only adds scheduler thrash).
+
+    Returns
+    -------
+    list
+        Results in **unit order**, regardless of completion order —
+        the merged output is identical for every ``jobs`` value.
+    """
+    jobs = resolve_jobs(jobs)
+    units = list(units)
+    if not units:
+        return []
+    if jobs == 1 or len(units) == 1:
+        return [fn(unit) for unit in units]
+    workers = min(jobs, len(units), os.cpu_count() or jobs)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, unit) for unit in units]
+        results: List[R] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as error:
+                for pending in futures[index + 1 :]:
+                    pending.cancel()
+                if hasattr(error, "add_note"):  # pragma: no branch
+                    error.add_note(f"raised by work unit {index}")
+                raise
+    return results

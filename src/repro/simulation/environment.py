@@ -70,19 +70,30 @@ class FaseaEnvironment:
         return view
 
     def commit(self, arranged: Sequence[int]) -> Tuple[List[float], LedgerEntry]:
-        """Commit an arrangement, returning per-event rewards and the entry."""
+        """Commit an arrangement, returning per-event rewards and the entry.
+
+        The threshold-vs-probability feedback comparison is vectorised
+        over the arranged ids and handed to the platform as a
+        precomputed lookup instead of a per-event Python lambda.  (The
+        probabilities themselves are computed with the same full
+        ``|V| x d`` matvec as the fleet runner, keeping the two paths
+        bit-for-bit interchangeable.)
+        """
         if self._pending is None:
             raise ConfigurationError("commit called before begin_round")
         view, thresholds = self._pending
         self._pending = None
-        probabilities = self.world.accept_probabilities(view.contexts)
+        arranged = list(arranged)
+        if arranged:
+            ids = np.asarray(arranged, dtype=int)
+            probabilities = self.world.accept_probabilities(view.contexts)
+            accepted_mask = thresholds[ids] < probabilities[ids]
+            decisions = dict(zip(arranged, accepted_mask.tolist()))
+        else:
+            accepted_mask = np.zeros(0, dtype=bool)
+            decisions = {}
         entry = self.platform.commit(
-            view.user,
-            arranged,
-            feedback=lambda event_id: bool(
-                thresholds[event_id] < probabilities[event_id]
-            ),
+            view.user, arranged, feedback=decisions.__getitem__
         )
-        accepted = set(entry.accepted)
-        rewards = [1.0 if event_id in accepted else 0.0 for event_id in arranged]
+        rewards = accepted_mask.astype(float).tolist()
         return rewards, entry

@@ -91,14 +91,15 @@ def run_policy_fleet(
                 conflicts=platform.conflicts,
             )
             arrangement = policy.select(view)
+            # Arrangements hold <= c_u events: scalar lookups beat
+            # fancy-indexing round trips at that size.
+            accepted_flags = [bool(accepts[event_id]) for event_id in arrangement]
+            decisions = dict(zip(arrangement, accepted_flags))
             entry = platform.commit(
-                user, arrangement, feedback=lambda e: bool(accepts[e])
+                user, arrangement, feedback=decisions.__getitem__
             )
-            accepted = set(entry.accepted)
             policy.observe(
-                view,
-                arrangement,
-                [1.0 if e in accepted else 0.0 for e in arrangement],
+                view, arrangement, [1.0 if flag else 0.0 for flag in accepted_flags]
             )
             rewards[name][t - 1] = entry.reward
             arranged_counts[name][t - 1] = len(arrangement)

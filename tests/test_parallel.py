@@ -1,0 +1,155 @@
+"""repro.parallel: deterministic fan-out, bit-for-bit merge guarantees.
+
+The fast tests here exercise the executor inline (``jobs=1``) and the
+cell runners against the serial reference; the actual
+process-pool duels carry the ``slow`` marker and run via
+``pytest -m slow`` (they spawn workers, which the default tier-1 run
+should not pay for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import replicate_policies
+from repro.bandits import OptPolicy, make_policy
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid import sweep
+from repro.parallel import (
+    ReplicationCell,
+    resolve_jobs,
+    run_replication_cell,
+    run_work_units,
+)
+from repro.simulation.runner import run_policy
+
+POLICIES = ("UCB", "TS", "Random")
+
+
+def tiny_config(**overrides) -> SyntheticConfig:
+    base = dict(
+        num_events=15,
+        horizon=120,
+        dim=4,
+        capacity_mean=8.0,
+        capacity_std=3.0,
+        conflict_ratio=0.25,
+        seed=0,
+    )
+    base.update(overrides)
+    return SyntheticConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+def _square(value: int) -> int:
+    return value * value
+
+
+def _fail_on_three(value: int) -> int:
+    if value == 3:
+        raise ConfigurationError("boom")
+    return value
+
+
+def test_run_work_units_preserves_order_inline():
+    assert run_work_units(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+
+def test_run_work_units_empty_is_empty():
+    assert run_work_units(_square, [], jobs=4) == []
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(-2)
+
+
+def test_run_work_units_propagates_worker_errors_inline():
+    with pytest.raises(ConfigurationError, match="boom"):
+        run_work_units(_fail_on_three, [1, 2, 3], jobs=1)
+
+
+@pytest.mark.slow
+def test_run_work_units_preserves_order_across_processes():
+    values = list(range(17))
+    assert run_work_units(_square, values, jobs=4) == [v * v for v in values]
+
+
+@pytest.mark.slow
+def test_run_work_units_propagates_worker_errors_across_processes():
+    with pytest.raises(ConfigurationError, match="boom"):
+        run_work_units(_fail_on_three, [1, 2, 3, 4], jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Replication cell ≡ serial per-policy runs (bit-for-bit)
+# ----------------------------------------------------------------------
+def test_replication_cell_rewards_are_bit_for_bit_serial():
+    """The fleet-based cell reproduces run_policy's History.rewards
+    exactly — the invariant that makes parallel merging trivial."""
+    config = tiny_config()
+    seed = 3
+    cell = ReplicationCell(
+        config=config,
+        seed=seed,
+        horizon=config.horizon,
+        policy_names=POLICIES,
+        policy_seed=1,
+    )
+    histories = run_replication_cell(cell)
+    world = build_world(config.with_overrides(seed=seed))
+    reference = {
+        "OPT": run_policy(
+            OptPolicy(world.theta), world, horizon=config.horizon, run_seed=seed
+        )
+    }
+    for name in POLICIES:
+        reference[name] = run_policy(
+            make_policy(name, dim=config.dim, seed=1),
+            world,
+            horizon=config.horizon,
+            run_seed=seed,
+        )
+    assert set(histories) == {"OPT", *POLICIES}
+    for name, expected in reference.items():
+        np.testing.assert_array_equal(histories[name].rewards, expected.rewards)
+        np.testing.assert_array_equal(histories[name].arranged, expected.arranged)
+
+
+# ----------------------------------------------------------------------
+# replicate_policies / sweep: jobs=1 vs jobs=N
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_replicate_policies_jobs4_identical_to_serial():
+    """Per-seed accept ratios and regrets match exactly (==, not approx)."""
+    config = tiny_config()
+    serial = replicate_policies(
+        config, seeds=range(4), horizon=100, policy_names=POLICIES
+    )
+    parallel = replicate_policies(
+        config, seeds=range(4), horizon=100, policy_names=POLICIES, jobs=4
+    )
+    assert serial.accept_ratios == parallel.accept_ratios
+    assert serial.total_regrets == parallel.total_regrets
+
+
+@pytest.mark.slow
+def test_sweep_jobs_identical_to_serial():
+    config = tiny_config()
+    axes = {"dim": [3, 5], "conflict_ratio": [0.0, 0.5]}
+    assert sweep(config, axes, horizon=80, policy_names=POLICIES) == sweep(
+        config, axes, horizon=80, policy_names=POLICIES, jobs=3
+    )
+
+
+def test_replicate_policies_rejects_negative_jobs():
+    with pytest.raises(ConfigurationError):
+        replicate_policies(tiny_config(), seeds=[0], horizon=10, jobs=-1)

@@ -131,3 +131,113 @@ def test_properties_return_copies():
     state.b[0] = 999.0
     assert state.y[0, 0] == 1.0
     assert state.b[0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Batched Woodbury ≡ sequential Sherman-Morrison ≡ direct inversion
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    xs=arrays(
+        np.float64,
+        (12, 4),
+        elements=st.floats(-1.0, 1.0, allow_nan=False),
+    ),
+    rewards=arrays(np.float64, 12, elements=st.floats(0.0, 1.0)),
+    splits=st.lists(st.integers(0, 12), min_size=0, max_size=4),
+)
+def test_batched_woodbury_matches_sequential_and_direct(xs, rewards, splits):
+    """Random batch partitions (including k=0 and k=1 chunks) agree with
+    per-observation Sherman-Morrison and with direct inversion to 1e-9."""
+    bounds = sorted(set([0, *splits, 12]))
+    batched = RidgeState(dim=4, lam=1.0, refresh_every=10_000)
+    sequential = RidgeState(dim=4, lam=1.0, refresh_every=10_000)
+    direct = RidgeState(dim=4, lam=1.0, refresh_every=0)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        batched.update_batch(xs[lo:hi], rewards[lo:hi])
+        for x, r in zip(xs[lo:hi], rewards[lo:hi]):
+            sequential.update(x, float(r))
+        direct.update_batch(xs[lo:hi], rewards[lo:hi])
+    probe = np.vstack([np.eye(4), xs])
+    for other in (sequential, direct):
+        assert np.allclose(batched.y, other.y, atol=1e-9)
+        assert np.allclose(batched.b, other.b, atol=1e-9)
+        assert np.allclose(batched.y_inv, other.y_inv, atol=1e-9)
+        assert np.allclose(batched.theta_hat(), other.theta_hat(), atol=1e-9)
+        assert np.allclose(
+            batched.confidence_widths(probe),
+            other.confidence_widths(probe),
+            atol=1e-9,
+        )
+    assert batched.num_observations == sequential.num_observations == 12
+
+
+def test_update_batch_empty_batch_is_a_noop():
+    state = RidgeState(dim=3)
+    before_y, before_b = state.y, state.b
+    state.update_batch(np.zeros((0, 3)), np.zeros(0))
+    assert np.array_equal(state.y, before_y)
+    assert np.array_equal(state.b, before_b)
+    assert state.num_observations == 0
+
+
+def test_update_batch_single_row_matches_update():
+    """k=1: a (d,)-shaped and a (1, d)-shaped batch equal one update()."""
+    x = np.array([0.3, -0.7])
+    for batch in (x, x.reshape(1, 2)):
+        via_batch = RidgeState(dim=2)
+        via_batch.update_batch(batch, np.array([1.0]))
+        via_update = RidgeState(dim=2)
+        via_update.update(x, 1.0)
+        assert np.allclose(via_batch.y_inv, via_update.y_inv, atol=1e-12)
+        assert np.allclose(
+            via_batch.theta_hat(), via_update.theta_hat(), atol=1e-12
+        )
+
+
+def test_update_batch_rejects_wrong_row_dimension():
+    state = RidgeState(dim=2)
+    with pytest.raises(ConfigurationError):
+        state.update_batch(np.ones((2, 3)), np.ones(2))
+
+
+def test_update_batch_triggers_periodic_refresh():
+    """Rank counted per observation: a k-batch crossing the refresh
+    boundary recomputes the inverse from scratch."""
+    state = RidgeState(dim=3, lam=1.0, refresh_every=5)
+    rng = np.random.default_rng(3)
+    for _ in range(4):
+        state.update_batch(rng.normal(size=(3, 3)), rng.uniform(size=3))
+    assert np.allclose(state.y_inv, np.linalg.inv(state.y), atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# theta_hat caching
+# ----------------------------------------------------------------------
+def test_theta_hat_cache_returns_equal_arrays_and_survives_mutation():
+    state = RidgeState(dim=2)
+    state.update(np.array([1.0, 0.5]), 1.0)
+    first = state.theta_hat()
+    first[:] = 123.0  # mutating the returned copy must not corrupt the cache
+    again = state.theta_hat()
+    assert not np.array_equal(first, again)
+    assert np.allclose(again, state.y_inv @ state.b)
+
+
+def test_theta_hat_cache_invalidated_by_every_mutator():
+    rng = np.random.default_rng(7)
+    state = RidgeState(dim=3)
+
+    def fresh():
+        return np.linalg.solve(state.y, state.b)
+
+    state.theta_hat()  # warm the cache
+    state.update(rng.normal(size=3), 1.0)
+    assert np.allclose(state.theta_hat(), fresh(), atol=1e-9)
+    state.update_batch(rng.normal(size=(4, 3)), rng.uniform(size=4))
+    assert np.allclose(state.theta_hat(), fresh(), atol=1e-9)
+    snapshot_y, snapshot_b = state.y, state.b
+    state.reset()
+    assert np.allclose(state.theta_hat(), np.zeros(3))
+    state.restore(snapshot_y, snapshot_b, num_observations=5)
+    assert np.allclose(state.theta_hat(), fresh(), atol=1e-9)

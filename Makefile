@@ -2,13 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-perf results claims replicate examples clean
+.PHONY: install test lint typecheck check bench bench-perf results claims replicate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# fasealint: the project's own AST-based reproducibility linter
+# (FAS001-FAS008; see DESIGN.md §5.7). Gates CI.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src benchmarks examples
+
+# Strict mypy on the typed public API (repro.linalg / parallel /
+# oracle / devtools). Skips gracefully where mypy is not installed
+# (pip install -e '.[dev]').
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+check: lint typecheck test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

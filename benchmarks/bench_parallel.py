@@ -116,8 +116,10 @@ def bench_replication(repeats: int = 2) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # 2. Batched Woodbury vs rank-1 Sherman--Morrison loop
 # ----------------------------------------------------------------------
-def bench_update_batch(dim: int = 15, k: int = 5, loops: int = 2000) -> Dict[str, object]:
-    rng = np.random.default_rng(0)
+def bench_update_batch(
+    dim: int = 15, k: int = 5, loops: int = 2000, seed: int = 0
+) -> Dict[str, object]:
+    rng = np.random.default_rng(seed)
     xs = rng.normal(size=(k, dim))
     rewards = rng.uniform(size=k)
 
@@ -148,8 +150,10 @@ def bench_update_batch(dim: int = 15, k: int = 5, loops: int = 2000) -> Dict[str
 # ----------------------------------------------------------------------
 # 3. Cached vs uncached theta_hat
 # ----------------------------------------------------------------------
-def bench_theta_cache(dim: int = 30, loops: int = 5000) -> Dict[str, object]:
-    rng = np.random.default_rng(1)
+def bench_theta_cache(
+    dim: int = 30, loops: int = 5000, seed: int = 1
+) -> Dict[str, object]:
+    rng = np.random.default_rng(seed)
     state = RidgeState(dim)
     state.update_batch(rng.normal(size=(64, dim)), rng.uniform(size=64))
 
@@ -173,9 +177,9 @@ def bench_theta_cache(dim: int = 30, loops: int = 5000) -> Dict[str, object]:
 # 4. Top-k oracle vs full stable sort
 # ----------------------------------------------------------------------
 def bench_oracle_topk(
-    num_events: int = 4000, user_capacity: int = 5, loops: int = 400
+    num_events: int = 4000, user_capacity: int = 5, loops: int = 400, seed: int = 2
 ) -> Dict[str, object]:
-    rng = np.random.default_rng(2)
+    rng = np.random.default_rng(seed)
     conflicts = DenseConflictGraph(
         num_events, random_conflict_array(num_events, 0.05, seed=3)
     )

@@ -25,11 +25,11 @@ from repro.extensions import DynamicEventSchedule, PerUserPolicyPool, run_dynami
 from repro.linalg.sampling import make_rng
 
 
-def per_user_demo() -> None:
+def per_user_demo(seed: int = 99) -> None:
     """Three users with opposed tastes: shared model vs per-user pool."""
     config = SyntheticConfig.scaled_default(seed=3, dim=8)
     world = build_world(config)
-    rng = make_rng(99)
+    rng = make_rng(seed)
     # Three opposed true preference vectors.
     thetas = [world.theta, -world.theta, np.roll(world.theta, 3)]
     sampler = world.make_context_sampler()

@@ -22,6 +22,8 @@ OPT        ``x^T theta`` with the *true* theta (reference)
 ========= =====================================================
 """
 
+from __future__ import annotations
+
 from repro.bandits.base import Policy, RoundView
 from repro.bandits.disjoint import DisjointUcbPolicy
 from repro.bandits.egreedy import EpsilonGreedyPolicy
@@ -31,6 +33,7 @@ from repro.bandits.opt import OptPolicy
 from repro.bandits.random_policy import RandomPolicy
 from repro.bandits.ts import ThompsonSamplingPolicy
 from repro.bandits.ucb import UcbPolicy
+from repro.linalg.sampling import RngLike
 
 __all__ = [
     "DisjointUcbPolicy",
@@ -49,7 +52,15 @@ __all__ = [
 POLICY_NAMES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
 
 
-def make_policy(name, dim, lam=1.0, alpha=2.0, delta=0.1, epsilon=0.1, seed=None):
+def make_policy(
+    name: str,
+    dim: int,
+    lam: float = 1.0,
+    alpha: float = 2.0,
+    delta: float = 0.1,
+    epsilon: float = 0.1,
+    seed: "RngLike" = None,
+) -> Policy:
     """Instantiate one of the paper's five online policies by name.
 
     Parameters mirror Table 4's algorithm parameters: ridge ``lam``,

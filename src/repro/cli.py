@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--out", default=None, help="write the markdown here (default: stdout)"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run fasealint (reproducibility & numerical-contract rules)",
+    )
+    from repro.devtools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -207,7 +215,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _diff(args)
     if args.command == "report":
         return _report(args)
+    if args.command == "lint":
+        return _lint(args)
     return 1
+
+
+def _lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import run_lint
+
+    return run_lint(args)
 
 
 def _report(args: argparse.Namespace) -> int:

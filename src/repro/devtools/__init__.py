@@ -1,0 +1,18 @@
+"""Developer tooling for the FASEA reproduction.
+
+``repro.devtools`` hosts *fasealint*, a custom static-analysis pass
+(:mod:`repro.devtools.lint`) that enforces the reproducibility and
+numerical contracts the experiment claims depend on: seeded randomness
+threaded through explicit ``rng``/``seed`` parameters, no float
+equality in verdict logic, picklable parallel work units, documented
+linalg shape invariants, and no ``assert``-based validation in
+production paths.
+
+The tooling is import-light on purpose: nothing here is needed at
+experiment runtime, and ``repro`` never imports ``repro.devtools``
+implicitly — only ``fasea lint`` and the test suite do.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint"]

@@ -1,0 +1,55 @@
+"""fasealint: AST-based reproducibility & numerical-contract linter.
+
+Rule catalogue (details in DESIGN.md §5.7 and the rule docstrings):
+
+========  ==========================================================
+FAS001    no global ``np.random.*`` / ``random.*`` calls
+FAS002    randomness-consuming public functions take ``rng``/``seed``
+FAS003    no float ``==`` / ``!=`` comparisons
+FAS004    no mutable default arguments
+FAS005    no bare except; broad except must re-raise
+FAS006    ``repro.parallel`` work units must pickle by reference
+FAS007    ``repro.linalg`` public API documents shapes + invariants
+FAS008    no ``assert`` in ``src/`` (stripped under ``python -O``)
+========  ==========================================================
+
+Use :func:`lint_paths` programmatically, or ``fasea lint`` / ``make
+lint`` from a shell.  Suppress individual hits with
+``# fasealint: disable=FAS00X`` line pragmas.
+"""
+
+from repro.devtools.lint.engine import (
+    PARSE_ERROR_ID,
+    FileContext,
+    LintConfig,
+    LintReport,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    register,
+    registered_rules,
+    resolve_rules,
+    run_rules,
+)
+from repro.devtools.lint.reporters import render_json, render_text, summarize
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "FileContext",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run_rules",
+    "summarize",
+]

@@ -1,0 +1,66 @@
+"""Render fasealint violations as text or machine-readable JSON.
+
+Both formats are deterministic: violations arrive pre-sorted from the
+engine and JSON keys are sorted, so reports can be diffed and the test
+suite can compare against a golden file byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.lint.engine import Violation
+
+#: Schema version of the JSON report; bump on breaking layout changes.
+JSON_REPORT_VERSION = 1
+
+
+def _relativize(path: str, base: Optional[Path]) -> str:
+    if base is None:
+        return path
+    try:
+        return Path(path).resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path
+
+
+def summarize(violations: Sequence[Violation]) -> Dict[str, int]:
+    """Rule id -> hit count, sorted by rule id."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(
+    violations: Sequence[Violation], base: Optional[Path] = None
+) -> str:
+    """``path:line:col: RULE message`` lines plus a per-rule summary."""
+    if not violations:
+        return "fasealint: no violations\n"
+    lines: List[str] = [
+        f"{_relativize(v.path, base)}:{v.line}:{v.col}: {v.rule_id} {v.message}"
+        for v in violations
+    ]
+    lines.append("")
+    for rule_id, count in summarize(violations).items():
+        lines.append(f"{rule_id}: {count} violation(s)")
+    lines.append(f"fasealint: {len(violations)} violation(s) total")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    violations: Sequence[Violation], base: Optional[Path] = None
+) -> str:
+    """Stable JSON document (sorted keys, 2-space indent, trailing \\n)."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "count": len(violations),
+        "by_rule": summarize(violations),
+        "violations": [
+            {**v.as_dict(), "path": _relativize(v.path, base)} for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,627 @@
+"""The fasealint rule catalogue (FAS001-FAS008).
+
+Every rule guards an invariant the FASEA reproduction's headline claims
+depend on — see DESIGN.md §5.7 for the rationale per rule.  Rules are
+registered with :func:`repro.devtools.lint.engine.register` and driven
+by the engine's single-pass dispatch; each holds only per-file state,
+reset in ``prepare``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+#: numpy Generator constructors and seeding plumbing — the *sanctioned*
+#: way to obtain randomness, hence never flagged by FAS001.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+#: stdlib ``random`` names that construct independent seeded instances.
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: Parameter / attribute names that count as "the caller controls the
+#: seed": an explicit generator or seed threaded through the API.
+_SEED_NAME_RE = re.compile(
+    r"(?:^|_)(?:rng|gen|generator|seed|seeds|random_state)(?:$|_)|seed",
+    re.IGNORECASE,
+)
+
+#: Factory callables whose presence means "this function consumes
+#: randomness" for FAS002.
+_RNG_FACTORIES = frozenset({"make_rng", "spawn_rng", "default_rng"})
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute/name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# FAS001 — no global RNG state
+# ----------------------------------------------------------------------
+@register
+class NoGlobalRandomRule(Rule):
+    """Global ``np.random.*`` / ``random.*`` calls destroy run isolation.
+
+    Any draw from the process-wide generator couples otherwise
+    independent components (and parallel work units) through hidden
+    state; every draw must come from an explicitly threaded
+    ``numpy.random.Generator``.  Constructing generators
+    (``default_rng``, ``SeedSequence``, bit generators) is allowed.
+    """
+
+    rule_id = "FAS001"
+    summary = "no global numpy/stdlib RNG state; thread a Generator"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        posix = ctx.path.as_posix()
+        return not any(posix.endswith(suffix) for suffix in self.config.rng_whitelist)
+
+    def prepare(self, ctx: FileContext) -> None:
+        self._numpy_aliases: Set[str] = set()
+        self._np_random_aliases: Set[str] = set()
+        self._stdlib_aliases: Set[str] = set()
+        self._flagged_from_imports: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        if alias.name == "numpy.random" and alias.asname:
+                            self._np_random_aliases.add(alias.asname)
+                        else:
+                            self._numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        self._stdlib_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self._np_random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _NP_RANDOM_ALLOWED:
+                            self._flagged_from_imports[alias.asname or alias.name] = (
+                                f"numpy.random.{alias.name}"
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _STDLIB_RANDOM_ALLOWED:
+                            self._flagged_from_imports[alias.asname or alias.name] = (
+                                f"random.{alias.name}"
+                            )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterable[Violation]:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return ()
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            origin = self._flagged_from_imports.get(parts[0])
+            if origin is not None:
+                return [
+                    self.violation(
+                        ctx,
+                        node,
+                        f"call to {origin} uses global RNG state; thread a "
+                        "numpy.random.Generator instead",
+                    )
+                ]
+            return ()
+        head, attr = parts[0], parts[-1]
+        np_random = (
+            len(parts) == 3 and head in self._numpy_aliases and parts[1] == "random"
+        ) or (len(parts) == 2 and head in self._np_random_aliases)
+        if np_random and attr not in _NP_RANDOM_ALLOWED:
+            return [
+                self.violation(
+                    ctx,
+                    node,
+                    f"numpy.random.{attr} draws from the global generator; "
+                    "use numpy.random.default_rng(seed) and thread it",
+                )
+            ]
+        if len(parts) == 2 and head in self._stdlib_aliases and attr not in _STDLIB_RANDOM_ALLOWED:
+            return [
+                self.violation(
+                    ctx,
+                    node,
+                    f"random.{attr} uses the process-wide stdlib generator; "
+                    "thread a seeded instance instead",
+                )
+            ]
+        return ()
+
+
+# ----------------------------------------------------------------------
+# FAS002 — randomness-consuming public functions take rng/seed
+# ----------------------------------------------------------------------
+@register
+class ExplicitSeedParameterRule(Rule):
+    """Public functions that build generators must expose the seed.
+
+    A public function calling ``make_rng``/``spawn_rng``/``default_rng``
+    must either accept an ``rng``/``seed``-like parameter or derive the
+    generator from such a name (attribute or local), so callers — and
+    the replication harness — control every stream.  Calling a factory
+    with *no* argument is unconditionally non-deterministic and always
+    flagged.
+    """
+
+    rule_id = "FAS002"
+    summary = "public functions consuming randomness take rng/seed"
+
+    def _function_nodes(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk ``node``'s body without descending into nested defs."""
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _param_names(self, node: ast.FunctionDef) -> List[str]:
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        names = [param.arg for param in params]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return names
+
+    def _mentions_seed_source(self, call: ast.Call) -> bool:
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and _SEED_NAME_RE.search(node.id):
+                    return True
+                if isinstance(node, ast.Attribute) and _SEED_NAME_RE.search(node.attr):
+                    return True
+        return False
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: FileContext
+    ) -> Iterable[Violation]:
+        return self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> Iterable[Violation]:
+        return self._check(node, ctx)
+
+    def _check(self, node: ast.FunctionDef, ctx: FileContext) -> Iterable[Violation]:
+        if node.name.startswith("_") and not (
+            node.name.startswith("__") and node.name.endswith("__")
+        ):
+            return ()
+        if ctx.enclosing_function(node) is not None:  # nested helper
+            return ()
+        factory_calls = [
+            child
+            for child in self._function_nodes(node)
+            if isinstance(child, ast.Call)
+            and (_dotted_name(child.func) or "").split(".")[-1] in _RNG_FACTORIES
+        ]
+        if not factory_calls:
+            return ()
+        violations: List[Violation] = []
+        has_seed_param = any(
+            _SEED_NAME_RE.search(name) for name in self._param_names(node)
+        )
+        for call in factory_calls:
+            name = (_dotted_name(call.func) or "").split(".")[-1]
+            if not call.args and not call.keywords:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        f"{name}() without a seed is non-deterministic; pass an "
+                        "explicit seed or generator",
+                    )
+                )
+            elif not has_seed_param and not self._mentions_seed_source(call):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        f"public function {node.name!r} builds a generator via "
+                        f"{name}(...) but exposes no rng/seed parameter and "
+                        "derives it from no seed-like state",
+                    )
+                )
+        return violations
+
+
+# ----------------------------------------------------------------------
+# FAS003 — no float equality
+# ----------------------------------------------------------------------
+@register
+class NoFloatEqualityRule(Rule):
+    """``==``/``!=`` against float expressions silently flips verdicts.
+
+    Accumulated rewards and accept ratios are sums of floats; exact
+    comparison is representation-dependent.  Use ``math.isclose`` or an
+    explicit tolerance.  Flagged operands: float literals, ``float(...)``
+    casts and ``np.float64(...)`` constructions.
+    """
+
+    rule_id = "FAS003"
+    summary = "no float equality; use math.isclose or a tolerance"
+
+    def _looks_float(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return self._looks_float(node.operand)
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func) or ""
+            return dotted.split(".")[-1] in {"float", "float32", "float64", "fsum"}
+        return False
+
+    def visit_Compare(self, node: ast.Compare, ctx: FileContext) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if self._looks_float(left) or self._looks_float(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"float {symbol} comparison is representation-dependent; "
+                        "use math.isclose or an explicit tolerance",
+                    )
+                )
+        return violations
+
+
+# ----------------------------------------------------------------------
+# FAS004 — no mutable default arguments
+# ----------------------------------------------------------------------
+@register
+class NoMutableDefaultRule(Rule):
+    """Mutable defaults are shared across calls — state leaks between
+    runs, which is exactly the cross-run coupling the harness forbids."""
+
+    rule_id = "FAS004"
+    summary = "no mutable default arguments"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func) or ""
+            return dotted.split(".")[-1] in self._MUTABLE_CALLS
+        return False
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: FileContext
+    ) -> Iterable[Violation]:
+        return self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> Iterable[Violation]:
+        return self._check(node, ctx)
+
+    def _check(self, node: ast.FunctionDef, ctx: FileContext) -> Iterable[Violation]:
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        return [
+            self.violation(
+                ctx,
+                default,
+                f"mutable default argument in {node.name!r}; default to None "
+                "and construct inside the function",
+            )
+            for default in defaults
+            if self._is_mutable(default)
+        ]
+
+
+# ----------------------------------------------------------------------
+# FAS005 — no bare / swallowed broad excepts
+# ----------------------------------------------------------------------
+@register
+class NoBroadExceptRule(Rule):
+    """Bare ``except:`` and swallowed ``except Exception:`` hide the
+    numerical failures (singular matrices, NaN scores) that should abort
+    a run.  A broad handler is allowed only if it re-raises."""
+
+    rule_id = "FAS005"
+    summary = "no bare except; broad except must re-raise"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _names(self, node: Optional[ast.AST]) -> List[str]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Tuple):
+            return [name for element in node.elts for name in self._names(element)]
+        dotted = _dotted_name(node)
+        return [dotted.split(".")[-1]] if dotted else []
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: FileContext
+    ) -> Iterable[Violation]:
+        if node.type is None:
+            return [
+                self.violation(
+                    ctx, node, "bare except swallows SystemExit/KeyboardInterrupt; "
+                    "catch specific exceptions"
+                )
+            ]
+        if not self._BROAD.intersection(self._names(node.type)):
+            return ()
+        if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+            return ()  # broad catch-and-re-raise (annotate + propagate) is fine
+        return [
+            self.violation(
+                ctx,
+                node,
+                "broad except without re-raise swallows failures; catch "
+                "specific exceptions or re-raise",
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# FAS006 — parallel work units must pickle by reference
+# ----------------------------------------------------------------------
+@register
+class PicklableWorkUnitRule(Rule):
+    """Callables handed to ``repro.parallel`` executors must be
+    module-level functions: lambdas, nested defs, bound partials and
+    locally-constructed callables do not pickle by reference, so the
+    pool would fail on spawn-based platforms."""
+
+    rule_id = "FAS006"
+    summary = "parallel work-unit callables must be module-level"
+
+    _ENTRY_POINTS = frozenset({"run_work_units"})
+
+    def prepare(self, ctx: FileContext) -> None:
+        self._module_names: Set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self._module_names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._module_names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    self._module_names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._module_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self._module_names.add(node.target.id)
+
+    def _local_bindings(self, function: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not function:
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.Lambda) and node is not function:
+                continue
+        return names
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterable[Violation]:
+        dotted = _dotted_name(node.func) or ""
+        if dotted.split(".")[-1] not in self._ENTRY_POINTS:
+            return ()
+        fn_arg: Optional[ast.AST] = None
+        if node.args:
+            fn_arg = node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    fn_arg = keyword.value
+        if fn_arg is None:
+            return ()
+        if isinstance(fn_arg, ast.Lambda):
+            return [
+                self.violation(
+                    ctx, node, "lambda work units cannot pickle; pass a "
+                    "module-level function"
+                )
+            ]
+        if isinstance(fn_arg, ast.Call):
+            return [
+                self.violation(
+                    ctx,
+                    node,
+                    "dynamically constructed work-unit callables (partial/"
+                    "factory) do not pickle by reference; pass a module-level "
+                    "function",
+                )
+            ]
+        if isinstance(fn_arg, ast.Name):
+            enclosing = ctx.enclosing_function(node)
+            if (
+                enclosing is not None
+                and fn_arg.id not in self._module_names
+                and fn_arg.id in self._local_bindings(enclosing)
+            ):
+                return [
+                    self.violation(
+                        ctx,
+                        node,
+                        f"work-unit callable {fn_arg.id!r} is defined inside a "
+                        "function; move it to module level so it pickles by "
+                        "reference",
+                    )
+                ]
+        return ()
+
+
+# ----------------------------------------------------------------------
+# FAS007 — linalg shape contracts documented
+# ----------------------------------------------------------------------
+@register
+class LinalgShapeContractRule(Rule):
+    """``repro.linalg`` is the numerical substrate every policy shares:
+    its public API must be annotated, array-taking functions must
+    document shapes, and the ridge mutators must document the cache /
+    SPD invariants (``theta_hat`` invalidation, ``Y`` positive
+    definite)."""
+
+    rule_id = "FAS007"
+    summary = "linalg public API documents shapes and ridge invariants"
+
+    _SHAPE_TOKENS = (
+        "shape",
+        "matrix",
+        "vector",
+        "scalar",
+        "array",
+        "row",
+        "dimension",
+        "(d",
+        "d x d",
+        "``d``",
+    )
+    _INVARIANT_TOKENS = (
+        "invalidat",
+        "cache",
+        "inverse",
+        "theta",
+        "statistic",
+        "positive definite",
+        "spd",
+        "symmetric",
+    )
+    _MUTATORS = frozenset({"update", "update_batch", "restore", "reset"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro", "linalg")
+
+    def _annotation_sources(self, node: ast.FunctionDef) -> List[str]:
+        sources: List[str] = []
+        args = node.args
+        for param in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if param.annotation is not None:
+                sources.append(ast.unparse(param.annotation))
+        if node.returns is not None:
+            sources.append(ast.unparse(node.returns))
+        return sources
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: FileContext
+    ) -> Iterable[Violation]:
+        name = node.name
+        if name.startswith("_") and name != "__init__":
+            return ()
+        if ctx.enclosing_function(node) is not None:
+            return ()
+        violations: List[Violation] = []
+        docstring = ast.get_docstring(node)
+        annotations = self._annotation_sources(node)
+        if not annotations and name != "__init__":
+            violations.append(
+                self.violation(
+                    ctx,
+                    node,
+                    f"public linalg callable {name!r} must annotate its "
+                    "parameters and return type",
+                )
+            )
+        if docstring is None:
+            if name != "__init__":
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"public linalg callable {name!r} must carry a "
+                        "docstring stating its array-shape contract",
+                    )
+                )
+            return violations
+        lowered = docstring.lower()
+        takes_arrays = any(
+            "ndarray" in src or "NDArray" in src or "ArrayLike" in src
+            for src in annotations
+        )
+        if takes_arrays and not any(token in lowered for token in self._SHAPE_TOKENS):
+            violations.append(
+                self.violation(
+                    ctx,
+                    node,
+                    f"{name!r} consumes/returns arrays but its docstring names "
+                    "no shapes (expected words like 'shape', '(d,) vector', "
+                    "'d x d matrix')",
+                )
+            )
+        if name in self._MUTATORS and not any(
+            token in lowered for token in self._INVARIANT_TOKENS
+        ):
+            violations.append(
+                self.violation(
+                    ctx,
+                    node,
+                    f"ridge mutator {name!r} must document the maintained "
+                    "invariants (SPD Y, cached theta_hat invalidation)",
+                )
+            )
+        return violations
+
+
+# ----------------------------------------------------------------------
+# FAS008 — no assert in production paths
+# ----------------------------------------------------------------------
+@register
+class NoProductionAssertRule(Rule):
+    """``assert`` vanishes under ``python -O``: validation in ``src/``
+    must raise from :mod:`repro.exceptions` instead.  Tests and
+    benchmarks are exempt (they never run optimised)."""
+
+    rule_id = "FAS008"
+    summary = "no assert in src/; raise from repro.exceptions"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_src
+
+    def visit_Assert(self, node: ast.Assert, ctx: FileContext) -> Iterable[Violation]:
+        return [
+            self.violation(
+                ctx,
+                node,
+                "assert is stripped under python -O; raise ConfigurationError "
+                "(or another repro.exceptions type) instead",
+            )
+        ]

@@ -11,6 +11,7 @@ measured and committed.
 from __future__ import annotations
 
 import csv
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -139,7 +140,10 @@ def grade_results(results_dir: PathLike) -> List[Finding]:
         ts = [float(v) for v in rows["TS"]]
         exploit = [float(v) for v in rows["Exploit"]]
         ucb_wins = sum(u >= t for u, t in zip(ucb, ts))
-        zeros = sum(v == 0.0 for v in exploit)
+        # "Locks at zero" = an accept ratio indistinguishable from 0
+        # after CSV round-tripping; exact float equality would miss a
+        # ratio serialized as e.g. 1e-17 (FAS003).
+        zeros = sum(math.isclose(v, 0.0, abs_tol=1e-12) for v in exploit)
         holds = ucb_wins == len(ucb) and zeros >= 1
         return holds, (
             f"UCB >= TS for {ucb_wins}/{len(ucb)} users; Exploit locks at 0 "

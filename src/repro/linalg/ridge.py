@@ -22,8 +22,12 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import ConfigurationError
+
+#: Dense float64 array — the only dtype the ridge state traffics in.
+FloatArray = npt.NDArray[np.float64]
 
 
 class RidgeState:
@@ -52,10 +56,10 @@ class RidgeState:
         self.dim = dim
         self.lam = float(lam)
         self.refresh_every = refresh_every
-        self._y = lam * np.eye(dim)
-        self._b = np.zeros(dim)
-        self._y_inv: Optional[np.ndarray] = np.eye(dim) / lam if refresh_every else None
-        self._theta: Optional[np.ndarray] = np.zeros(dim)
+        self._y: FloatArray = lam * np.eye(dim)
+        self._b: FloatArray = np.zeros(dim)
+        self._y_inv: Optional[FloatArray] = np.eye(dim) / lam if refresh_every else None
+        self._theta: Optional[FloatArray] = np.zeros(dim)
         self._updates_since_refresh = 0
         self.num_observations = 0
 
@@ -63,18 +67,20 @@ class RidgeState:
     # Properties
     # ------------------------------------------------------------------
     @property
-    def y(self) -> np.ndarray:
-        """The design matrix ``Y`` (copy; mutating it cannot corrupt state)."""
+    def y(self) -> FloatArray:
+        """The ``d x d`` design matrix ``Y`` (copy; mutating it cannot
+        corrupt state)."""
         return self._y.copy()
 
     @property
-    def b(self) -> np.ndarray:
-        """The response vector ``b`` (copy)."""
+    def b(self) -> FloatArray:
+        """The ``(d,)`` response vector ``b`` (copy)."""
         return self._b.copy()
 
     @property
-    def y_inv(self) -> np.ndarray:
-        """Current ``Y^{-1}`` (copy), recomputed lazily in direct mode."""
+    def y_inv(self) -> FloatArray:
+        """Current ``Y^{-1}`` as a ``d x d`` matrix (copy), recomputed
+        lazily in direct mode."""
         if self._y_inv is None:
             self._y_inv = np.linalg.inv(self._y)
         return self._y_inv.copy()
@@ -82,15 +88,21 @@ class RidgeState:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def update(self, x: np.ndarray, reward: float) -> None:
-        """Fold one observation ``(x, reward)`` into the statistics."""
-        x = np.asarray(x, dtype=float).reshape(-1)
-        if x.size != self.dim:
+    def update(self, x: npt.ArrayLike, reward: float) -> None:
+        """Fold one observation ``(x, reward)`` into the statistics.
+
+        ``x`` is a ``(d,)`` feature vector (any array reshapeable to
+        it); ``reward`` a scalar.  ``Y`` gains the rank-1 term
+        ``x x^T`` (staying SPD), the maintained inverse is advanced by
+        Sherman--Morrison, and the cached ``theta_hat`` is invalidated.
+        """
+        vec: FloatArray = np.asarray(x, dtype=float).reshape(-1)
+        if vec.size != self.dim:
             raise ConfigurationError(
-                f"feature vector has size {x.size}, expected {self.dim}"
+                f"feature vector has size {vec.size}, expected {self.dim}"
             )
-        self._y += np.outer(x, x)
-        self._b += reward * x
+        self._y += np.outer(vec, vec)
+        self._b += reward * vec
         self.num_observations += 1
         self._theta = None
         if self.refresh_every == 0:
@@ -102,11 +114,11 @@ class RidgeState:
             self._updates_since_refresh = 0
         else:
             # Sherman--Morrison: (Y + xx^T)^{-1} = Y^{-1} - (Y^{-1}x x^T Y^{-1}) / (1 + x^T Y^{-1} x)
-            y_inv_x = self._y_inv @ x
-            denom = 1.0 + float(x @ y_inv_x)
+            y_inv_x = self._y_inv @ vec
+            denom = 1.0 + float(vec @ y_inv_x)
             self._y_inv -= np.outer(y_inv_x, y_inv_x) / denom
 
-    def update_batch(self, xs: np.ndarray, rewards: np.ndarray) -> None:
+    def update_batch(self, xs: npt.ArrayLike, rewards: npt.ArrayLike) -> None:
         """Fold a batch of observations (rows of ``xs``) into the statistics.
 
         The inverse is maintained with one rank-``k`` Woodbury update::
@@ -120,25 +132,25 @@ class RidgeState:
         sufficient statistics are touched and the inverse is
         invalidated, exactly like :meth:`update`.
         """
-        xs = np.asarray(xs, dtype=float)
-        if xs.ndim == 1:
-            xs = xs[np.newaxis, :]
-        rewards = np.asarray(rewards, dtype=float)
-        if rewards.ndim != 1:
-            rewards = rewards.reshape(-1)
-        if xs.shape[0] != rewards.size:
+        rows: FloatArray = np.asarray(xs, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[np.newaxis, :]
+        gains: FloatArray = np.asarray(rewards, dtype=float)
+        if gains.ndim != 1:
+            gains = gains.reshape(-1)
+        if rows.shape[0] != gains.size:
             raise ConfigurationError(
-                f"{xs.shape[0]} feature rows but {rewards.size} rewards"
+                f"{rows.shape[0]} feature rows but {gains.size} rewards"
             )
-        k = rewards.size
+        k = int(gains.size)
         if k == 0:
             return
-        if xs.ndim != 2 or xs.shape[1] != self.dim:
+        if rows.ndim != 2 or rows.shape[1] != self.dim:
             raise ConfigurationError(
-                f"feature rows have size {xs.shape[1:]}, expected {self.dim}"
+                f"feature rows have size {rows.shape[1:]}, expected {self.dim}"
             )
-        self._y += xs.T @ xs
-        self._b += rewards @ xs
+        self._y += rows.T @ rows
+        self._b += gains @ rows
         self.num_observations += k
         self._theta = None
         if self.refresh_every == 0:
@@ -151,22 +163,23 @@ class RidgeState:
             return
         if k == 1:
             # Rank-1 batch: plain Sherman--Morrison, no k x k solve.
-            x = xs[0]
-            y_inv_x = self._y_inv @ x
-            denom = 1.0 + float(x @ y_inv_x)
+            vec = rows[0]
+            y_inv_x = self._y_inv @ vec
+            denom = 1.0 + float(vec @ y_inv_x)
             self._y_inv -= np.outer(y_inv_x, y_inv_x) / denom
             return
         # Woodbury rank-k downdate of the maintained inverse.
-        y_inv_xt = self._y_inv @ xs.T  # (d, k)
-        capacitance = xs @ y_inv_xt  # (k, k)
+        y_inv_xt = self._y_inv @ rows.T  # (d, k)
+        capacitance = rows @ y_inv_xt  # (k, k)
         capacitance.flat[:: k + 1] += 1.0  # I_k + X Y^-1 X^T, diag stride
         self._y_inv -= y_inv_xt @ np.linalg.solve(capacitance, y_inv_xt.T)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def theta_hat(self) -> np.ndarray:
-        """The ridge estimate ``theta_hat = Y^{-1} b`` (line 5/6 of Algs. 1, 3).
+    def theta_hat(self) -> FloatArray:
+        """The ridge estimate ``theta_hat = Y^{-1} b``, a ``(d,)``
+        vector (line 5/6 of Algs. 1, 3).
 
         Cached between updates: the solve/multiply happens at most once
         per ``update``/``update_batch``/``restore``/``reset`` cycle, and
@@ -180,58 +193,64 @@ class RidgeState:
                 self._theta = np.linalg.solve(self._y, self._b)
         return self._theta.copy()
 
-    def confidence_widths(self, contexts: np.ndarray) -> np.ndarray:
+    def confidence_widths(self, contexts: npt.ArrayLike) -> FloatArray:
         """``sqrt(x^T Y^{-1} x)`` for each row ``x`` of ``contexts``.
 
         This is the exploration bonus of line 8 in Algorithm 3 (before
         scaling by ``alpha``).
         """
-        contexts = np.atleast_2d(np.asarray(contexts, dtype=float))
-        if contexts.shape[1] != self.dim:
+        matrix: FloatArray = np.atleast_2d(np.asarray(contexts, dtype=float))
+        if matrix.shape[1] != self.dim:
             raise ConfigurationError(
-                f"context rows have size {contexts.shape[1]}, expected {self.dim}"
+                f"context rows have size {matrix.shape[1]}, expected {self.dim}"
             )
         y_inv = self._y_inv if self._y_inv is not None else np.linalg.inv(self._y)
         # (X @ Y^-1 * X).sum(1) == diag(X Y^-1 X^T): one BLAS GEMM plus a
         # rowwise reduction, substantially faster than the einsum
         # contraction for the |V| x d context matrices of a round.
-        quad = np.multiply(contexts @ y_inv, contexts).sum(axis=1)
+        quad = np.multiply(matrix @ y_inv, matrix).sum(axis=1)
         return np.sqrt(np.maximum(quad, 0.0))
 
-    def restore(self, y: np.ndarray, b: np.ndarray, num_observations: int) -> None:
+    def restore(self, y: npt.ArrayLike, b: npt.ArrayLike, num_observations: int) -> None:
         """Overwrite the statistics with previously exported state.
 
         Used by :mod:`repro.io.policy_state` to warm-start a policy from
         a saved run.  ``y`` must be symmetric positive definite of the
         right shape.
         """
-        y = np.asarray(y, dtype=float)
-        b = np.asarray(b, dtype=float).reshape(-1)
-        if y.shape != (self.dim, self.dim):
+        design: FloatArray = np.asarray(y, dtype=float)
+        response: FloatArray = np.asarray(b, dtype=float).reshape(-1)
+        if design.shape != (self.dim, self.dim):
             raise ConfigurationError(
-                f"Y has shape {y.shape}, expected ({self.dim}, {self.dim})"
+                f"Y has shape {design.shape}, expected ({self.dim}, {self.dim})"
             )
-        if b.size != self.dim:
-            raise ConfigurationError(f"b has size {b.size}, expected {self.dim}")
+        if response.size != self.dim:
+            raise ConfigurationError(
+                f"b has size {response.size}, expected {self.dim}"
+            )
         if num_observations < 0:
             raise ConfigurationError(
                 f"num_observations must be >= 0, got {num_observations}"
             )
-        if not np.allclose(y, y.T):
+        if not np.allclose(design, design.T):
             raise ConfigurationError("Y must be symmetric")
         try:
-            np.linalg.cholesky(y)
+            np.linalg.cholesky(design)
         except np.linalg.LinAlgError as error:
             raise ConfigurationError("Y must be positive definite") from error
-        self._y = y.copy()
-        self._b = b.copy()
+        self._y = design.copy()
+        self._b = response.copy()
         self._y_inv = np.linalg.inv(self._y) if self.refresh_every else None
         self._theta = None
         self._updates_since_refresh = 0
         self.num_observations = int(num_observations)
 
     def reset(self) -> None:
-        """Forget all observations; return to the prior ``(lam * I, 0)``."""
+        """Forget all observations; return to the prior ``(lam * I, 0)``.
+
+        Restores the SPD prior ``Y = lam * I`` with its exact inverse
+        and re-caches ``theta_hat = 0``.
+        """
         self._y = self.lam * np.eye(self.dim)
         self._b = np.zeros(self.dim)
         self._y_inv = np.eye(self.dim) / self.lam if self.refresh_every else None

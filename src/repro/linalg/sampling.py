@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import ConfigurationError
 
@@ -43,39 +44,40 @@ def spawn_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
 
 
 def cholesky_sample(
-    mean: np.ndarray,
-    covariance: np.ndarray,
+    mean: npt.ArrayLike,
+    covariance: npt.ArrayLike,
     rng: np.random.Generator,
     jitter: float = 1e-10,
     max_tries: int = 5,
-) -> np.ndarray:
-    """Draw one sample from ``N(mean, covariance)`` via Cholesky factoring.
+) -> npt.NDArray[np.float64]:
+    """Draw one ``(d,)`` sample from ``N(mean, covariance)`` via
+    Cholesky factoring.
 
-    ``covariance`` must be symmetric positive semi-definite up to noise;
-    a growing diagonal ``jitter`` is added when the factorisation fails,
-    which happens for near-singular posterior covariances late in a
-    Thompson Sampling run.
+    ``mean`` is a ``(d,)`` vector; ``covariance`` a ``d x d`` matrix,
+    symmetric positive semi-definite up to noise.  A growing diagonal
+    ``jitter`` is added when the factorisation fails, which happens for
+    near-singular posterior covariances late in a Thompson Sampling run.
 
     Raises
     ------
     ConfigurationError
         If the covariance cannot be factorised even with jitter.
     """
-    mean = np.asarray(mean, dtype=float)
-    covariance = np.asarray(covariance, dtype=float)
-    if mean.ndim != 1:
-        raise ConfigurationError(f"mean must be a vector, got shape {mean.shape}")
-    if covariance.shape != (mean.size, mean.size):
+    loc: npt.NDArray[np.float64] = np.asarray(mean, dtype=float)
+    cov: npt.NDArray[np.float64] = np.asarray(covariance, dtype=float)
+    if loc.ndim != 1:
+        raise ConfigurationError(f"mean must be a vector, got shape {loc.shape}")
+    if cov.shape != (loc.size, loc.size):
         raise ConfigurationError(
-            f"covariance shape {covariance.shape} does not match mean size {mean.size}"
+            f"covariance shape {cov.shape} does not match mean size {loc.size}"
         )
-    symmetric = 0.5 * (covariance + covariance.T)
-    scale = max(float(np.trace(symmetric)) / mean.size, 1.0)
+    symmetric = 0.5 * (cov + cov.T)
+    scale = max(float(np.trace(symmetric)) / loc.size, 1.0)
     for attempt in range(max_tries):
         bump = jitter * scale * (10.0**attempt)
         try:
-            lower = np.linalg.cholesky(symmetric + bump * np.eye(mean.size))
+            lower = np.linalg.cholesky(symmetric + bump * np.eye(loc.size))
         except np.linalg.LinAlgError:
             continue
-        return mean + lower @ rng.standard_normal(mean.size)
+        return loc + lower @ rng.standard_normal(loc.size)
     raise ConfigurationError("covariance matrix is not positive semi-definite")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.exceptions import ConfigurationError
@@ -27,23 +28,25 @@ MAX_EXACT_CANDIDATES = 40
 
 
 def exact_arrangement(
-    scores: np.ndarray,
+    scores: npt.ArrayLike,
     conflicts: BaseConflictGraph,
-    remaining_capacities: np.ndarray,
+    remaining_capacities: npt.ArrayLike,
     user_capacity: int,
 ) -> List[int]:
     """Return a maximum-score feasible arrangement (positive scores only)."""
-    scores = np.asarray(scores, dtype=float)
-    remaining_capacities = np.asarray(remaining_capacities, dtype=float)
-    if scores.ndim != 1 or scores.shape != remaining_capacities.shape:
+    score_vec: npt.NDArray[np.float64] = np.asarray(scores, dtype=float)
+    capacity_vec: npt.NDArray[np.float64] = np.asarray(
+        remaining_capacities, dtype=float
+    )
+    if score_vec.ndim != 1 or score_vec.shape != capacity_vec.shape:
         raise ConfigurationError("scores and capacities must be matching vectors")
     if user_capacity < 1:
         raise ConfigurationError(f"user capacity must be >= 1, got {user_capacity}")
 
     candidates = [
         int(v)
-        for v in np.argsort(-scores, kind="stable")
-        if scores[v] > 0 and remaining_capacities[v] > 0
+        for v in np.argsort(-score_vec, kind="stable")
+        if score_vec[v] > 0 and capacity_vec[v] > 0
     ]
     if len(candidates) > MAX_EXACT_CANDIDATES:
         raise ConfigurationError(
@@ -54,7 +57,7 @@ def exact_arrangement(
     best_set: List[int] = []
     best_value = 0.0
     # Suffix sums of sorted scores give an admissible upper bound for pruning.
-    sorted_scores = [scores[v] for v in candidates]
+    sorted_scores = [float(score_vec[v]) for v in candidates]
 
     def remaining_bound(start: int, slots: int) -> float:
         return float(sum(sorted_scores[start : start + slots]))
@@ -76,18 +79,18 @@ def exact_arrangement(
             if value + remaining_bound(idx, slots) <= best_value:
                 break
             chosen.append(event_id)
-            search(idx + 1, chosen, value + float(scores[event_id]))
+            search(idx + 1, chosen, value + float(score_vec[event_id]))
             chosen.pop()
 
     search(0, [], 0.0)
     return sorted(best_set)
 
 
-def arrangement_value(scores: np.ndarray, arrangement: Sequence[int]) -> float:
+def arrangement_value(scores: npt.ArrayLike, arrangement: Sequence[int]) -> float:
     """Summed score of an arrangement, counting only positive scores.
 
     This is the quantity Theorem 1 compares:
     ``sum_{v in A | score(v) > 0} score(v)``.
     """
-    scores = np.asarray(scores, dtype=float)
-    return float(sum(scores[v] for v in arrangement if scores[v] > 0))
+    score_vec: npt.NDArray[np.float64] = np.asarray(scores, dtype=float)
+    return float(sum(score_vec[v] for v in arrangement if score_vec[v] > 0))

@@ -23,9 +23,14 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.exceptions import ConfigurationError
+
+FloatArray = npt.NDArray[np.float64]
+BoolArray = npt.NDArray[np.bool_]
+IntArray = npt.NDArray[np.int_]
 
 #: The argpartition prefix holds ``max(PREFIX_FACTOR * c_u, PREFIX_MIN)``
 #: candidates — slack for entries lost to conflicts and full events.
@@ -38,12 +43,12 @@ _PREFIX_MIN_EVENTS = 512
 
 
 def _greedy_scan(
-    visit_order: np.ndarray,
+    visit_order: IntArray,
     conflicts: BaseConflictGraph,
-    remaining_capacities: np.ndarray,
+    remaining_capacities: FloatArray,
     user_capacity: int,
     arrangement: List[int],
-    blocked: np.ndarray,
+    blocked: BoolArray,
 ) -> None:
     """Scan ``visit_order`` appending feasible events (mutates in place)."""
     for event_id in visit_order.tolist():
@@ -55,7 +60,7 @@ def _greedy_scan(
         blocked |= conflicts.neighbor_mask_view(event_id)
 
 
-def _top_prefix_order(scores: np.ndarray, prefix: int) -> Optional[np.ndarray]:
+def _top_prefix_order(scores: FloatArray, prefix: int) -> Optional[IntArray]:
     """Ids of every event scoring at least the ``prefix``-th best, in
     exactly the order a full stable sort on ``-scores`` would visit them.
 
@@ -78,9 +83,9 @@ def _top_prefix_order(scores: np.ndarray, prefix: int) -> Optional[np.ndarray]:
 
 
 def oracle_greedy(
-    scores: np.ndarray,
+    scores: npt.ArrayLike,
     conflicts: BaseConflictGraph,
-    remaining_capacities: np.ndarray,
+    remaining_capacities: npt.ArrayLike,
     user_capacity: int,
     order: Optional[Sequence[int]] = None,
 ) -> List[int]:
@@ -107,51 +112,51 @@ def oracle_greedy(
     list of int
         Event ids in the order they were arranged.
     """
-    scores = np.asarray(scores, dtype=float)
-    remaining_capacities = np.asarray(remaining_capacities, dtype=float)
-    if scores.shape != remaining_capacities.shape:
+    score_vec: FloatArray = np.asarray(scores, dtype=float)
+    capacity_vec: FloatArray = np.asarray(remaining_capacities, dtype=float)
+    if score_vec.shape != capacity_vec.shape:
         raise ConfigurationError(
-            f"scores shape {scores.shape} != capacities shape "
-            f"{remaining_capacities.shape}"
+            f"scores shape {score_vec.shape} != capacities shape "
+            f"{capacity_vec.shape}"
         )
-    if scores.ndim != 1:
+    if score_vec.ndim != 1:
         raise ConfigurationError("scores must be one-dimensional")
-    if scores.size != conflicts.num_events:
+    if score_vec.size != conflicts.num_events:
         raise ConfigurationError(
-            f"{scores.size} scores but conflict graph covers "
+            f"{score_vec.size} scores but conflict graph covers "
             f"{conflicts.num_events} events"
         )
     if user_capacity < 1:
         raise ConfigurationError(f"user capacity must be >= 1, got {user_capacity}")
 
     arrangement: List[int] = []
-    blocked = np.zeros(scores.size, dtype=bool)
+    blocked: BoolArray = np.zeros(score_vec.size, dtype=bool)
 
     if order is not None:
-        visit_order = np.asarray(order, dtype=int).reshape(-1)
+        visit_order: IntArray = np.asarray(order, dtype=int).reshape(-1)
         # Permutation check via bincount: O(|V|) instead of the
         # O(|V| log |V|) sort — the Random baseline pays this per round.
         if (
-            visit_order.size != scores.size
+            visit_order.size != score_vec.size
             or (visit_order.size and visit_order.min() < 0)
-            or not (np.bincount(visit_order, minlength=scores.size) == 1).all()
+            or not (np.bincount(visit_order, minlength=score_vec.size) == 1).all()
         ):
             raise ConfigurationError("order must be a permutation of all event ids")
         _greedy_scan(
-            visit_order, conflicts, remaining_capacities, user_capacity,
+            visit_order, conflicts, capacity_vec, user_capacity,
             arrangement, blocked,
         )
         return arrangement
 
     prefix = max(_PREFIX_FACTOR * user_capacity, _PREFIX_MIN)
     prefix_order = (
-        _top_prefix_order(scores, prefix)
-        if scores.size >= _PREFIX_MIN_EVENTS and prefix < scores.size
+        _top_prefix_order(score_vec, prefix)
+        if score_vec.size >= _PREFIX_MIN_EVENTS and prefix < score_vec.size
         else None
     )
     if prefix_order is not None:
         _greedy_scan(
-            prefix_order, conflicts, remaining_capacities, user_capacity,
+            prefix_order, conflicts, capacity_vec, user_capacity,
             arrangement, blocked,
         )
         if len(arrangement) >= user_capacity:
@@ -160,22 +165,22 @@ def oracle_greedy(
         # worse remainder and keep scanning with the same state.  The
         # concatenation [prefix order, remainder order] is exactly the
         # full stable sort, so the result is unchanged.
-        cutoff = scores[prefix_order[-1]]
+        cutoff = score_vec[prefix_order[-1]]
         # ``~(>= cutoff)`` rather than ``< cutoff`` so un-orderable
         # (NaN) entries still get visited, last, as a full sort would.
-        rest = np.flatnonzero(~(scores >= cutoff))
-        rest_order = rest[np.argsort(-scores[rest], kind="stable")]
+        rest = np.flatnonzero(~(score_vec >= cutoff))
+        rest_order = rest[np.argsort(-score_vec[rest], kind="stable")]
         _greedy_scan(
-            rest_order, conflicts, remaining_capacities, user_capacity,
+            rest_order, conflicts, capacity_vec, user_capacity,
             arrangement, blocked,
         )
         return arrangement
 
     # Stable sort on (-score) gives non-increasing score with
     # ascending-id tie-break.
-    visit_order = np.argsort(-scores, kind="stable")
+    full_order: IntArray = np.argsort(-score_vec, kind="stable")
     _greedy_scan(
-        visit_order, conflicts, remaining_capacities, user_capacity,
+        full_order, conflicts, capacity_vec, user_capacity,
         arrangement, blocked,
     )
     return arrangement

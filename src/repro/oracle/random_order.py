@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.linalg.sampling import RngLike, make_rng
@@ -19,7 +20,7 @@ from repro.oracle.greedy import oracle_greedy
 
 def random_arrangement(
     conflicts: BaseConflictGraph,
-    remaining_capacities: np.ndarray,
+    remaining_capacities: npt.ArrayLike,
     user_capacity: int,
     rng: RngLike = None,
 ) -> List[int]:

@@ -1,0 +1,13 @@
+"""Fixture: a file with no violations at all."""
+
+import math
+
+from numpy.random import default_rng
+
+
+def sample(seed):
+    return default_rng(seed).random()
+
+
+def near_zero(value, tol=1e-12):
+    return math.isclose(value, 0.0, abs_tol=tol)

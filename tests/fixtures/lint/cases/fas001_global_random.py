@@ -1,0 +1,22 @@
+"""Fixture: global RNG calls that FAS001 must flag."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+from random import shuffle
+
+
+def draw_bad():
+    a = np.random.rand(3)          # FAS001: global numpy draw
+    np.random.seed(0)              # FAS001: global reseed
+    b = random.random()            # FAS001: stdlib global draw
+    shuffle([1, 2, 3])             # FAS001: from-imported global draw
+    return a, b
+
+
+def draw_ok(seed):
+    rng = default_rng(seed)        # allowed: constructs a Generator
+    keyed = np.random.SeedSequence(entropy=seed)  # allowed: seeding plumbing
+    local = random.Random(seed)    # allowed: independent instance
+    return rng.random(), keyed, local.random()

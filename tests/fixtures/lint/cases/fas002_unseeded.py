@@ -1,0 +1,31 @@
+"""Fixture: randomness without an explicit rng/seed path (FAS002)."""
+
+from numpy.random import default_rng
+
+from repro.linalg.sampling import make_rng
+
+
+def sample_hidden():
+    rng = make_rng(42)  # FAS002: public fn, no rng/seed param or source
+    return rng.random()
+
+
+def sample_unseeded(rng=None):
+    fresh = default_rng()  # FAS002: factory with no seed at all
+    return fresh.random()
+
+
+def sample_ok(seed=0):
+    return make_rng(seed).random()
+
+
+def _private_helper():
+    return make_rng(7).random()  # private: not checked
+
+
+class Sampler:
+    def __init__(self, seed):
+        self._rng = make_rng(seed)  # ok: seed parameter
+
+    def refresh(self):
+        self._rng = make_rng(self._seed)  # ok: seed-like attribute

@@ -1,0 +1,16 @@
+"""Fixture: float equality comparisons (FAS003)."""
+
+
+def check(values, ratio):
+    exact_zero = sum(v == 0.0 for v in values)     # FAS003
+    if ratio != 1.0:                               # FAS003
+        return exact_zero
+    if float(ratio) == float(len(values)):         # FAS003 (float casts)
+        return -1
+    return 0
+
+
+def check_ok(count, values):
+    if count == 0:  # int comparison: fine
+        return []
+    return [v for v in values if v > 0.5]  # ordering: fine

@@ -1,0 +1,21 @@
+"""Fixture: mutable default arguments (FAS004)."""
+
+
+def accumulate(item, bucket=[]):  # FAS004
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, *, counts={}):  # FAS004 (kw-only)
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def build(sink=list()):  # FAS004 (constructor call)
+    return sink
+
+
+def fine(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,30 @@
+"""Fixture: bare / swallowed broad excepts (FAS005)."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # FAS005: bare
+        return None
+
+
+def swallow_exception(fn):
+    try:
+        return fn()
+    except Exception:  # FAS005: broad, no re-raise
+        return None
+
+
+def annotate_and_reraise(fn):
+    try:
+        return fn()
+    except Exception as error:  # ok: broad but re-raises
+        error.args = (f"wrapped: {error}",)
+        raise
+
+
+def targeted(fn):
+    try:
+        return fn()
+    except ValueError:  # ok: specific
+        return None

@@ -1,0 +1,26 @@
+"""Fixture: non-picklable parallel work units (FAS006)."""
+
+import functools
+
+from repro.parallel import run_work_units
+
+
+def module_level_unit(value):
+    return value * 2
+
+
+def fan_out_bad(units):
+    results = run_work_units(lambda unit: unit + 1, units)  # FAS006: lambda
+
+    def local_unit(value):
+        return value - 1
+
+    results += run_work_units(local_unit, units)  # FAS006: nested def
+    results += run_work_units(
+        functools.partial(module_level_unit, 3), units  # FAS006: partial
+    )
+    return results
+
+
+def fan_out_ok(units, jobs=None):
+    return run_work_units(module_level_unit, units, jobs=jobs)

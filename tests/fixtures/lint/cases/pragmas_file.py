@@ -1,0 +1,9 @@
+"""Fixture: file-level pragma suppression (whole file comes back clean)."""
+# fasealint: disable-file=FAS004, FAS005
+
+
+def swallow(fn, bucket=[]):  # FAS004 suppressed file-wide
+    try:
+        return fn(bucket)
+    except Exception:  # FAS005 suppressed file-wide
+        return None

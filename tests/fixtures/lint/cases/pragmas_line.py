@@ -1,0 +1,14 @@
+"""Fixture: line-level pragma suppression."""
+
+
+def suppressed(values):
+    return sum(v == 0.0 for v in values)  # fasealint: disable=FAS003
+
+
+def suppressed_all(item, bucket=[]):  # fasealint: disable=all
+    bucket.append(item)
+    return bucket
+
+
+def still_flagged(values):
+    return sum(v == 1.0 for v in values)  # FAS003: no pragma, survives

@@ -1,0 +1,17 @@
+"""Fixture: asserts in production code (FAS008)."""
+
+
+def check_capacity(capacity):
+    assert capacity > 0, "capacity must be positive"  # FAS008
+    return capacity
+
+
+def check_dim(dim):
+    assert isinstance(dim, int)  # FAS008 (no message)
+    return dim
+
+
+def guarded(capacity):
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")  # ok: real exception
+    return capacity

@@ -1,0 +1,32 @@
+"""Fixture: linalg shape-contract violations (FAS007)."""
+
+import numpy as np
+import numpy.typing as npt
+
+
+def solve(y, b):  # FAS007: no annotations, no docstring
+    return np.linalg.solve(y, b)
+
+
+def widths(contexts: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+    """Compute confidence widths."""  # FAS007: arrays but no shape words
+    return contexts.sum(axis=1)
+
+
+def update(x: npt.NDArray[np.float64], reward: float) -> None:
+    """Apply a rank-1 update of shape (d,)."""  # FAS007: mutator, no invariants
+    del x, reward
+
+
+def theta_hat(
+    y: npt.NDArray[np.float64], b: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Solve Y theta = b for the (d,) estimate.
+
+    The cached inverse stays valid; callers hold a d x d SPD ``Y``.
+    """
+    return np.linalg.solve(y, b)  # ok: shapes + invariants documented
+
+
+def _internal(y):
+    return y  # private: not checked

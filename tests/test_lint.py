@@ -1,0 +1,279 @@
+"""Tests for the fasealint static-analysis subsystem (FAS001-FAS008).
+
+Covers: per-rule firing on known-bad fixtures, the golden JSON report,
+pragma suppression at line/file granularity, select/ignore filtering,
+parse-error handling (FAS000) and the self-check that the repository's
+own ``src/`` tree is lint-clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.lint.engine import (
+    PARSE_ERROR_ID,
+    LintConfig,
+    Violation,
+    lint_file,
+    lint_paths,
+    registered_rules,
+    resolve_rules,
+)
+from repro.devtools.lint.reporters import render_json, render_text, summarize
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+CASES = FIXTURES / "cases"
+
+ALL_RULES = (
+    "FAS001",
+    "FAS002",
+    "FAS003",
+    "FAS004",
+    "FAS005",
+    "FAS006",
+    "FAS007",
+    "FAS008",
+)
+
+#: fixture file (relative to CASES) -> (rule id, expected hit count)
+RULE_FIXTURES = {
+    "fas001_global_random.py": ("FAS001", 4),
+    "fas002_unseeded.py": ("FAS002", 2),
+    "fas003_float_eq.py": ("FAS003", 3),
+    "fas004_mutable_default.py": ("FAS004", 3),
+    "fas005_broad_except.py": ("FAS005", 2),
+    "fas006_unpicklable.py": ("FAS006", 3),
+    "src/repro/linalg/fas007_shapes.py": ("FAS007", 4),
+    "src/fas008_assert.py": ("FAS008", 2),
+}
+
+
+# ----------------------------------------------------------------------
+# Registry / engine basics
+# ----------------------------------------------------------------------
+def test_registry_contains_the_full_catalogue():
+    registry = registered_rules()
+    assert tuple(sorted(registry)) == ALL_RULES
+    for rule_id, rule_cls in registry.items():
+        assert rule_cls.rule_id == rule_id
+        assert rule_cls.summary  # every rule documents itself
+
+
+def test_resolve_rules_rejects_unknown_ids():
+    with pytest.raises(ValueError, match="FAS999"):
+        resolve_rules(LintConfig(select=("FAS999",)))
+    with pytest.raises(ValueError, match="FAS999"):
+        resolve_rules(LintConfig(ignore=("FAS999",)))
+
+
+def test_violations_sort_by_location():
+    earlier = Violation("a.py", 1, 0, "FAS003", "x")
+    later = Violation("a.py", 2, 0, "FAS001", "x")
+    other_file = Violation("b.py", 1, 0, "FAS001", "x")
+    assert sorted([other_file, later, earlier]) == [earlier, later, other_file]
+
+
+# ----------------------------------------------------------------------
+# Per-rule firing on fixtures
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "relpath,rule_id,expected",
+    [(rel, rid, n) for rel, (rid, n) in sorted(RULE_FIXTURES.items())],
+)
+def test_rule_fires_on_fixture(relpath, rule_id, expected):
+    violations = lint_file(CASES / relpath)
+    hits = [v for v in violations if v.rule_id == rule_id]
+    assert len(hits) == expected, render_text(violations)
+    # The fixture must not trip *other* rules: each file isolates one rule.
+    assert {v.rule_id for v in violations} == {rule_id}
+
+
+def test_clean_fixture_produces_no_violations():
+    assert lint_file(CASES / "clean.py") == []
+
+
+def test_fas005_allows_broad_except_that_reraises():
+    violations = lint_file(CASES / "fas005_broad_except.py")
+    flagged_lines = {v.line for v in violations}
+    assert flagged_lines == {7, 14}  # the re-raising handler (line 21) passes
+
+
+def test_fas006_flags_lambda_nested_and_partial():
+    violations = lint_file(CASES / "fas006_unpicklable.py")
+    messages = " ".join(v.message for v in violations)
+    assert "lambda" in messages
+    assert "module level" in messages
+    assert "partial" in messages
+
+
+def test_fas007_scoping_is_limited_to_repro_linalg(tmp_path):
+    # The same un-annotated source outside src/repro/linalg is not FAS007.
+    source = (CASES / "src" / "repro" / "linalg" / "fas007_shapes.py").read_text()
+    elsewhere = tmp_path / "fas007_shapes.py"
+    elsewhere.write_text(source)
+    assert all(v.rule_id != "FAS007" for v in lint_file(elsewhere))
+
+
+def test_fas008_scoping_is_limited_to_src(tmp_path):
+    source = (CASES / "src" / "fas008_assert.py").read_text()
+    elsewhere = tmp_path / "fas008_assert.py"
+    elsewhere.write_text(source)
+    assert lint_file(elsewhere) == []
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+def test_line_pragma_suppresses_only_that_line():
+    violations = lint_file(CASES / "pragmas_line.py")
+    assert [(v.rule_id, v.line) for v in violations] == [("FAS003", 14)]
+
+
+def test_disable_all_pragma_suppresses_every_rule_on_the_line():
+    source = (CASES / "pragmas_line.py").read_text()
+    assert "disable=all" in source  # fixture exercises the wildcard
+    violations = lint_file(CASES / "pragmas_line.py")
+    assert all(v.rule_id != "FAS004" for v in violations)
+
+
+def test_file_pragma_suppresses_whole_file():
+    assert lint_file(CASES / "pragmas_file.py") == []
+
+
+def test_pragma_inside_string_literal_does_not_suppress(tmp_path):
+    bad = tmp_path / "src" / "doc_pragma.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        '"""Docs may mention `# fasealint: disable-file=all` safely."""\n'
+        "def f(x):\n"
+        "    assert x\n"
+    )
+    assert [v.rule_id for v in lint_file(bad)] == ["FAS008"]
+
+
+# ----------------------------------------------------------------------
+# Golden JSON report
+# ----------------------------------------------------------------------
+def test_golden_json_report_matches():
+    violations = lint_paths([CASES])
+    rendered = render_json(violations, base=CASES)
+    expected = (FIXTURES / "expected.json").read_text()
+    assert rendered == expected
+
+
+def test_json_report_shape():
+    violations = lint_paths([CASES])
+    payload = json.loads(render_json(violations, base=CASES))
+    assert payload["version"] == 1
+    assert payload["count"] == len(violations) == len(payload["violations"])
+    assert payload["by_rule"] == summarize(violations)
+    assert set(payload["by_rule"]) == set(ALL_RULES)  # every rule exercised
+    for entry in payload["violations"]:
+        assert set(entry) == {"path", "line", "col", "rule", "message"}
+        assert "\\" not in entry["path"]  # POSIX-relative for portability
+
+
+# ----------------------------------------------------------------------
+# Config filtering + parse errors
+# ----------------------------------------------------------------------
+def test_select_restricts_rules():
+    violations = lint_paths([CASES], LintConfig(select=("FAS003",)))
+    assert violations and {v.rule_id for v in violations} == {"FAS003"}
+
+
+def test_ignore_removes_rules():
+    violations = lint_paths([CASES], LintConfig(ignore=("FAS003", "FAS007")))
+    assert {"FAS003", "FAS007"}.isdisjoint({v.rule_id for v in violations})
+
+
+def test_rng_whitelist_exempts_fas001():
+    config = LintConfig(
+        select=("FAS001",), rng_whitelist=("fas001_global_random.py",)
+    )
+    assert lint_paths([CASES], config) == []
+
+
+def test_parse_error_reports_fas000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    violations = lint_file(broken)
+    assert [v.rule_id for v in violations] == [PARSE_ERROR_ID]
+    assert "could not parse" in violations[0].message
+
+
+def test_parse_error_is_not_suppressible(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("# fasealint: disable-file=all\ndef oops(:\n")
+    assert [v.rule_id for v in lint_file(broken)] == [PARSE_ERROR_ID]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_lint_exit_codes(capsys):
+    assert cli_main(["lint", str(CASES / "clean.py")]) == 0
+    assert "no violations" in capsys.readouterr().out
+    assert cli_main(["lint", str(CASES / "fas003_float_eq.py")]) == 1
+    out = capsys.readouterr().out
+    assert "FAS003" in out and "violation(s) total" in out
+
+
+def test_cli_lint_json_format(capsys):
+    assert cli_main(["lint", "--format", "json", str(CASES / "clean.py")]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"version": 1, "count": 0, "by_rule": {}, "violations": []}
+
+
+def test_cli_lint_unknown_rule_is_usage_error(capsys):
+    assert cli_main(["lint", "--select", "FAS999", str(CASES)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_lint_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULES:
+        assert rule_id in out
+
+
+def test_cli_lint_select_ignore_roundtrip(capsys):
+    code = cli_main(
+        ["lint", "--select", "FAS003,FAS004", "--ignore", "FAS004", str(CASES)]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAS003" in out and "FAS004" not in out
+
+
+# ----------------------------------------------------------------------
+# Self-check: the repository's own code is lint-clean
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tree", ["src", "benchmarks", "examples"])
+def test_repository_tree_is_lint_clean(tree):
+    violations = lint_paths([REPO_ROOT / tree])
+    assert violations == [], render_text(violations)
+
+
+def test_repository_src_has_no_asserts():
+    # FAS008's promise, stated directly: src/ raises, never asserts.
+    violations = lint_paths([REPO_ROOT / "src"], LintConfig(select=("FAS008",)))
+    assert violations == []
+
+
+def test_cli_entry_point_subprocess():
+    # `python -m repro lint` mirrors the installed `fasea lint` script.
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(REPO_ROOT / "src")],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no violations" in result.stdout

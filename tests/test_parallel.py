@@ -9,6 +9,8 @@ should not pay for).
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -18,8 +20,10 @@ from repro.datasets.synthetic import SyntheticConfig, build_world
 from repro.exceptions import ConfigurationError
 from repro.experiments.grid import sweep
 from repro.parallel import (
+    GridCell,
     ReplicationCell,
     resolve_jobs,
+    run_grid_cell,
     run_replication_cell,
     run_work_units,
 )
@@ -153,3 +157,47 @@ def test_sweep_jobs_identical_to_serial():
 def test_replicate_policies_rejects_negative_jobs():
     with pytest.raises(ConfigurationError):
         replicate_policies(tiny_config(), seeds=[0], horizon=10, jobs=-1)
+
+
+# ----------------------------------------------------------------------
+# Picklability: everything crossing the process boundary must
+# round-trip through pickle (the contract FAS006 enforces statically)
+# ----------------------------------------------------------------------
+def test_work_unit_callables_pickle_by_reference():
+    """The runner functions the executors ship to workers must pickle
+    by reference, or spawn-based platforms fail at submit time."""
+    for fn in (run_replication_cell, run_grid_cell, _square, _fail_on_three):
+        assert pickle.loads(pickle.dumps(fn)) is fn
+
+
+def test_replication_cell_pickle_round_trip():
+    cell = ReplicationCell(
+        config=tiny_config(),
+        seed=5,
+        horizon=60,
+        policy_names=POLICIES,
+        policy_seed=1,
+    )
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell
+    # The clone must drive the exact same replication as the original.
+    histories = run_replication_cell(cell)
+    cloned = run_replication_cell(clone)
+    assert set(histories) == set(cloned)
+    for name in histories:
+        np.testing.assert_array_equal(histories[name].rewards, cloned[name].rewards)
+
+
+def test_grid_cell_pickle_round_trip():
+    config = tiny_config()
+    cell = GridCell(
+        config=config.with_overrides(dim=3),
+        overrides=(("dim", 3),),
+        horizon=40,
+        policy_names=POLICIES,
+        run_seed=0,
+        policy_seed=1,
+    )
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell
+    assert run_grid_cell(clone) == run_grid_cell(cell)

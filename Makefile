@@ -33,6 +33,9 @@ bench:
 bench-perf:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --out BENCH_parallel.json
 
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_obs_overhead --threshold 0.03 --repeats 9
+
 results:
 	$(PYTHON) -m repro run all --out results --quiet
 

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.ebsn.users import User
+from repro.obs.core import NULL_OBS, InstrumentationLike
+from repro.oracle.greedy import OracleStats, oracle_greedy
 
 
 @dataclass(frozen=True)
@@ -63,9 +65,92 @@ class Policy(abc.ABC):
     #: Human-readable name used in reports; subclasses override.
     name: str = "policy"
 
+    #: Bound instrumentation (class-level disabled default — one
+    #: attribute read on the hot path; see ``repro.obs``).
+    _obs: InstrumentationLike = NULL_OBS
+    #: Metric-name label; defaults to ``name`` (fleet keys override it).
+    _obs_label: Optional[str] = None
+
     @abc.abstractmethod
     def select(self, view: RoundView) -> List[int]:
         """Return the arrangement ``A_t`` (event ids) for this round."""
+
+    # ------------------------------------------------------------------
+    # Instrumentation plumbing (no-ops unless a runner binds a registry)
+    # ------------------------------------------------------------------
+    def bind_obs(
+        self, obs: InstrumentationLike, label: Optional[str] = None
+    ) -> None:
+        """Attach an instrumentation registry (runners call this).
+
+        ``label`` names this policy in metric names
+        (``policy.<label>.*``); it defaults to :attr:`name` but fleet
+        runners pass their dict key so differently-parametrised
+        instances stay distinguishable.
+        """
+        self._obs = obs
+        self._obs_label = label if label is not None else self.name
+
+    def obs_name(self, metric: str) -> str:
+        """Fully qualified metric name: ``policy.<label>.<metric>``."""
+        return f"policy.{self._obs_label or self.name}.{metric}"
+
+    def theta_estimate(self) -> Optional[np.ndarray]:
+        """The policy's current ``theta^`` estimate, if it keeps one.
+
+        Runners use this to record per-round estimate drift
+        ``||theta^ - theta||`` without reaching into policy internals;
+        model-free policies (Random, OPT) return ``None``.
+        """
+        return None
+
+    def _run_oracle(
+        self,
+        view: RoundView,
+        scores: np.ndarray,
+        order: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Oracle-Greedy with per-policy telemetry when bound & enabled.
+
+        The disabled path forwards straight to
+        :func:`~repro.oracle.greedy.oracle_greedy` — identical
+        arrangement either way (``stats`` never alters the scan).
+        """
+        obs = self._obs
+        if not obs.enabled:
+            return oracle_greedy(
+                scores=scores,
+                conflicts=view.conflicts,
+                remaining_capacities=view.remaining_capacities,
+                user_capacity=view.user.capacity,
+                order=order,
+            )
+        stats = OracleStats()
+        arrangement = oracle_greedy(
+            scores=scores,
+            conflicts=view.conflicts,
+            remaining_capacities=view.remaining_capacities,
+            user_capacity=view.user.capacity,
+            order=order,
+            stats=stats,
+        )
+        self._record_oracle_stats(view, stats)
+        return arrangement
+
+    def _record_oracle_stats(self, view: RoundView, stats: OracleStats) -> None:
+        """Fold one oracle call's diagnostics into the bound registry."""
+        obs = self._obs
+        prefix = self.obs_name("oracle")
+        obs.counter(f"{prefix}.calls").inc()
+        obs.counter(f"{prefix}.candidates").inc(stats.candidates)
+        obs.counter(f"{prefix}.visited").inc(stats.visited)
+        obs.counter(f"{prefix}.conflict_rejections").inc(stats.conflict_rejections)
+        obs.counter(f"{prefix}.capacity_rejections").inc(stats.capacity_rejections)
+        obs.counter(f"{prefix}.arranged").inc(stats.arranged)
+        obs.histogram(f"{prefix}.fill_rate").observe(stats.fill_rate)
+        obs.series(f"{prefix}.fill_rate_series").append(
+            view.time_step, stats.fill_rate
+        )
 
     def observe(
         self,

@@ -16,7 +16,7 @@ from repro.bandits.base import Policy, RoundView
 from repro.bandits.linear import LinearModel
 from repro.exceptions import ConfigurationError
 from repro.linalg.sampling import RngLike, make_rng
-from repro.oracle.greedy import oracle_greedy
+from repro.oracle.greedy import OracleStats
 from repro.oracle.random_order import random_arrangement
 
 
@@ -51,19 +51,36 @@ class EpsilonGreedyPolicy(Policy):
         self._rng = make_rng(seed)
 
     def select(self, view: RoundView) -> List[int]:
-        if self._rng.uniform() <= self.epsilon:
-            return random_arrangement(
+        # The coin flip always happens first so the RNG stream is
+        # identical with or without instrumentation.
+        explore = self._rng.uniform() <= self.epsilon
+        obs = self._obs
+        if obs.enabled:
+            obs.counter(
+                self.obs_name("explore_rounds" if explore else "exploit_rounds")
+            ).inc()
+            obs.series(self.obs_name("explored")).append(
+                view.time_step, 1.0 if explore else 0.0
+            )
+        if explore:
+            if not obs.enabled:
+                return random_arrangement(
+                    conflicts=view.conflicts,
+                    remaining_capacities=view.remaining_capacities,
+                    user_capacity=view.user.capacity,
+                    rng=self._rng,
+                )
+            stats = OracleStats()
+            arrangement = random_arrangement(
                 conflicts=view.conflicts,
                 remaining_capacities=view.remaining_capacities,
                 user_capacity=view.user.capacity,
                 rng=self._rng,
+                stats=stats,
             )
-        return oracle_greedy(
-            scores=self.model.predict(view.contexts),
-            conflicts=view.conflicts,
-            remaining_capacities=view.remaining_capacities,
-            user_capacity=view.user.capacity,
-        )
+            self._record_oracle_stats(view, stats)
+            return arrangement
+        return self._run_oracle(view, self.model.predict(view.contexts))
 
     def observe(
         self, view: RoundView, arranged: Sequence[int], rewards: Sequence[float]

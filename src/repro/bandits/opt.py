@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.bandits.base import Policy, RoundView
 from repro.exceptions import ConfigurationError
-from repro.oracle.greedy import oracle_greedy
 
 
 class OptPolicy(Policy):
@@ -33,12 +32,7 @@ class OptPolicy(Policy):
             raise ConfigurationError(
                 f"contexts have dim {view.dim} but theta has {self.theta.size}"
             )
-        return oracle_greedy(
-            scores=view.contexts @ self.theta,
-            conflicts=view.conflicts,
-            remaining_capacities=view.remaining_capacities,
-            user_capacity=view.user.capacity,
-        )
+        return self._run_oracle(view, view.contexts @ self.theta)
 
     def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
         return np.atleast_2d(contexts) @ self.theta

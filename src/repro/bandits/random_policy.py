@@ -10,6 +10,7 @@ from typing import List
 
 from repro.bandits.base import Policy, RoundView
 from repro.linalg.sampling import RngLike, make_rng
+from repro.oracle.greedy import OracleStats
 from repro.oracle.random_order import random_arrangement
 
 
@@ -22,9 +23,21 @@ class RandomPolicy(Policy):
         self._rng = make_rng(seed)
 
     def select(self, view: RoundView) -> List[int]:
-        return random_arrangement(
+        obs = self._obs
+        if not obs.enabled:
+            return random_arrangement(
+                conflicts=view.conflicts,
+                remaining_capacities=view.remaining_capacities,
+                user_capacity=view.user.capacity,
+                rng=self._rng,
+            )
+        stats = OracleStats()
+        arrangement = random_arrangement(
             conflicts=view.conflicts,
             remaining_capacities=view.remaining_capacities,
             user_capacity=view.user.capacity,
             rng=self._rng,
+            stats=stats,
         )
+        self._record_oracle_stats(view, stats)
+        return arrangement

@@ -22,7 +22,6 @@ from repro.bandits.base import Policy, RoundView
 from repro.bandits.linear import LinearModel
 from repro.exceptions import ConfigurationError
 from repro.linalg.sampling import RngLike, cholesky_sample, make_rng
-from repro.oracle.greedy import oracle_greedy
 
 
 class ThompsonSamplingPolicy(Policy):
@@ -94,13 +93,23 @@ class ThompsonSamplingPolicy(Policy):
 
     def select(self, view: RoundView) -> List[int]:
         theta_sample = self.sample_theta(view.time_step)
+        obs = self._obs
+        if obs.enabled:
+            # The paper conjectures TS fails under FASEA because its
+            # posterior noise corrupts every event at once; the sample
+            # norm and the deviation from theta^ make that visible.
+            obs.series(self.obs_name("ts_sample_norm")).append(
+                view.time_step, float(np.linalg.norm(theta_sample))
+            )
+            obs.series(self.obs_name("ts_sample_deviation")).append(
+                view.time_step,
+                float(np.linalg.norm(theta_sample - self.model.theta_hat())),
+            )
+            obs.series(self.obs_name("ts_sampling_width")).append(
+                view.time_step, self.sampling_width(view.time_step)
+            )
         scores = view.contexts @ theta_sample
-        return oracle_greedy(
-            scores=scores,
-            conflicts=view.conflicts,
-            remaining_capacities=view.remaining_capacities,
-            user_capacity=view.user.capacity,
-        )
+        return self._run_oracle(view, scores)
 
     def observe(
         self, view: RoundView, arranged: Sequence[int], rewards: Sequence[float]
@@ -109,6 +118,9 @@ class ThompsonSamplingPolicy(Policy):
 
     def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
         return self.model.predict(contexts)
+
+    def theta_estimate(self) -> np.ndarray:
+        return self.model.theta_hat()
 
     def ranking_scores(self, contexts: np.ndarray, time_step: int) -> np.ndarray:
         """Rank by a fresh posterior sample — the scores TS actually uses."""

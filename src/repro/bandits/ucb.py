@@ -20,7 +20,6 @@ import numpy as np
 from repro.bandits.base import Policy, RoundView
 from repro.bandits.linear import LinearModel
 from repro.exceptions import ConfigurationError
-from repro.oracle.greedy import oracle_greedy
 
 
 class UcbPolicy(Policy):
@@ -51,12 +50,19 @@ class UcbPolicy(Policy):
         )
 
     def select(self, view: RoundView) -> List[int]:
-        return oracle_greedy(
-            scores=self.upper_confidence_bounds(view.contexts),
-            conflicts=view.conflicts,
-            remaining_capacities=view.remaining_capacities,
-            user_capacity=view.user.capacity,
-        )
+        obs = self._obs
+        if obs.enabled:
+            # Compute the two score terms separately so the confidence
+            # width — the paper's exploration-shrinkage diagnostic — can
+            # be recorded without a second |V| x d pass.
+            widths = self.model.confidence_widths(view.contexts)
+            scores = self.model.predict(view.contexts) + self.alpha * widths
+            obs.series(self.obs_name("ucb_width")).append(
+                view.time_step, float(widths.mean())
+            )
+        else:
+            scores = self.upper_confidence_bounds(view.contexts)
+        return self._run_oracle(view, scores)
 
     def observe(
         self, view: RoundView, arranged: Sequence[int], rewards: Sequence[float]
@@ -65,6 +71,9 @@ class UcbPolicy(Policy):
 
     def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
         return self.model.predict(contexts)
+
+    def theta_estimate(self) -> np.ndarray:
+        return self.model.theta_hat()
 
     def reset(self) -> None:
         self.model.reset()

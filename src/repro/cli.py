@@ -50,8 +50,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="do not print reports to stdout"
     )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "record run telemetry (metrics.json + trace.jsonl) alongside "
+            "each experiment's reports; inspect with 'fasea obs'"
+        ),
+    )
 
-    sub.add_parser("quickstart", help="run a tiny demonstration")
+    quickstart = sub.add_parser("quickstart", help="run a tiny demonstration")
+    quickstart.add_argument(
+        "--obs",
+        action="store_true",
+        help="record telemetry for the demonstration run",
+    )
+    quickstart.add_argument(
+        "--out",
+        default="results/quickstart",
+        help="directory for --obs telemetry artefacts",
+    )
+    quickstart.add_argument(
+        "--quiet", action="store_true", help="suppress the comparison table"
+    )
 
     replicate = sub.add_parser(
         "replicate",
@@ -113,10 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.devtools.lint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect run telemetry (metrics.json / trace.jsonl)",
+    )
+    from repro.obs.cli import add_obs_arguments
+
+    add_obs_arguments(obs)
     return parser
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
+    from repro.obs.console import Console
+
+    console = Console(quiet=args.quiet)
+    record_obs = bool(getattr(args, "obs", False))
     ids = list_experiments() if "all" in args.ids else args.ids
     outdir = Path(args.out)
     for experiment_id in ids:
@@ -131,30 +164,59 @@ def _run_experiments(args: argparse.Namespace) -> int:
             # The real dataset has its own canonical seed.
             kwargs["seed"] = 2016 if args.seed == 0 else args.seed
         started = time.perf_counter()
-        result = runner(**kwargs)
+        if record_obs:
+            from repro.obs.core import Instrumentation, use
+
+            obs = Instrumentation()
+            with obs.span("experiment", experiment_id=experiment_id):
+                with use(obs):
+                    result = runner(**kwargs)
+        else:
+            obs = None
+            result = runner(**kwargs)
         elapsed = time.perf_counter() - started
         directory = save_result(result, outdir)
-        if not args.quiet:
-            print(render_result(result))
-        print(f"[{experiment_id}] saved to {directory} ({elapsed:.1f}s)", file=sys.stderr)
+        if obs is not None:
+            from repro.io.runstore import persist_run_telemetry
+
+            persist_run_telemetry(directory, obs)
+            console.info(f"[{experiment_id}] telemetry in {directory}")
+        console.result(render_result(result))
+        console.info(f"[{experiment_id}] saved to {directory} ({elapsed:.1f}s)")
     return 0
 
 
-def _quickstart() -> int:
+def _quickstart(args: argparse.Namespace) -> int:
     from repro import OptPolicy, SyntheticConfig, build_world, make_policy, run_policy
+    from repro.obs.console import Console
 
+    console = Console(quiet=args.quiet)
+    record_obs = bool(getattr(args, "obs", False))
+    if record_obs:
+        from repro.obs.core import Instrumentation
+
+        obs = Instrumentation()
+    else:
+        from repro.obs.core import NULL_OBS
+
+        obs = NULL_OBS
     config = SyntheticConfig.scaled_default(seed=42)
     world = build_world(config)
-    opt_history = run_policy(OptPolicy(world.theta), world, horizon=2000)
-    print("policy     accept_ratio  total_reward  regret_vs_OPT")
+    opt_history = run_policy(OptPolicy(world.theta), world, horizon=2000, obs=obs)
+    console.result("policy     accept_ratio  total_reward  regret_vs_OPT")
     for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
         policy = make_policy(name, dim=config.dim, seed=7)
-        history = run_policy(policy, world, horizon=2000)
+        history = run_policy(policy, world, horizon=2000, obs=obs)
         regret = opt_history.total_reward - history.total_reward
-        print(
+        console.result(
             f"{name:<10} {history.overall_accept_ratio:>12.3f} "
             f"{history.total_reward:>13.0f} {regret:>14.0f}"
         )
+    if record_obs:
+        from repro.io.runstore import persist_run_telemetry
+
+        paths = persist_run_telemetry(args.out, obs)
+        console.info(f"telemetry written to {paths['metrics'].parent}")
     return 0
 
 
@@ -204,7 +266,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "run":
         return _run_experiments(args)
     if args.command == "quickstart":
-        return _quickstart()
+        return _quickstart(args)
     if args.command == "replicate":
         return _replicate(args)
     if args.command == "claims":
@@ -217,7 +279,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _report(args)
     if args.command == "lint":
         return _lint(args)
+    if args.command == "obs":
+        return _obs(args)
     return 1
+
+
+def _obs(args: argparse.Namespace) -> int:
+    from repro.obs.cli import run_obs
+
+    return run_obs(args)
 
 
 def _lint(args: argparse.Namespace) -> int:

@@ -1,4 +1,4 @@
-"""The fasealint rule catalogue (FAS001-FAS008).
+"""The fasealint rule catalogue (FAS001-FAS009).
 
 Every rule guards an invariant the FASEA reproduction's headline claims
 depend on — see DESIGN.md §5.7 for the rationale per rule.  Rules are
@@ -623,5 +623,51 @@ class NoProductionAssertRule(Rule):
                 node,
                 "assert is stripped under python -O; raise ConfigurationError "
                 "(or another repro.exceptions type) instead",
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# FAS009 — no bare print in library code
+# ----------------------------------------------------------------------
+@register
+class NoLibraryPrintRule(Rule):
+    """Library modules must not ``print``: human chrome belongs to
+    :class:`repro.obs.console.Console` (stream routing, ``--quiet``,
+    ``NO_COLOR``) and telemetry to ``repro.obs`` metrics/traces.  The
+    CLI entry point, the devtools, reporters and the console module
+    itself are the sanctioned output sites.
+    """
+
+    rule_id = "FAS009"
+    summary = "no print() in library code; route output through repro.obs"
+
+    #: Module paths (relative to the ``repro`` package) where printing
+    #: is the module's job.
+    _EXEMPT_PREFIXES: Tuple[Tuple[str, ...], ...] = (
+        ("repro", "cli"),
+        ("repro", "devtools"),
+        ("repro", "obs", "console"),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not (ctx.is_src and ctx.in_package("repro")):
+            return False
+        if ctx.path.name == "reporters.py":
+            return False
+        return not any(
+            ctx.in_package(*prefix) for prefix in self._EXEMPT_PREFIXES
+        )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterable[Violation]:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "print"):
+            return ()
+        return [
+            self.violation(
+                ctx,
+                node,
+                "print() in library code bypasses --quiet/NO_COLOR and "
+                "pollutes captured results; use repro.obs.console.Console "
+                "or record telemetry via repro.obs",
             )
         ]

@@ -9,6 +9,22 @@
 """
 
 from repro.io.history_io import load_history, save_history
-from repro.io.runstore import RunRecord, RunStore
+from repro.io.runstore import (
+    METRICS_FILENAME,
+    TRACE_FILENAME,
+    RunRecord,
+    RunStore,
+    load_run_metrics,
+    persist_run_telemetry,
+)
 
-__all__ = ["RunRecord", "RunStore", "load_history", "save_history"]
+__all__ = [
+    "METRICS_FILENAME",
+    "TRACE_FILENAME",
+    "RunRecord",
+    "RunStore",
+    "load_history",
+    "load_run_metrics",
+    "persist_run_telemetry",
+    "save_history",
+]

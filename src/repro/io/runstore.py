@@ -23,7 +23,45 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.obs.core import InstrumentationLike, MetricsSnapshot
+from repro.obs.export import snapshot_from_json, snapshot_to_json
+from repro.obs.trace import write_trace_jsonl
 from repro.simulation.history import History
+
+#: Telemetry artefact filenames written next to each run's outputs.
+METRICS_FILENAME = "metrics.json"
+TRACE_FILENAME = "trace.jsonl"
+
+
+def persist_run_telemetry(
+    directory: Union[str, Path], obs: InstrumentationLike
+) -> Dict[str, Path]:
+    """Write ``metrics.json`` + ``trace.jsonl`` alongside a run's outputs.
+
+    Returns the paths written (keys ``"metrics"`` and ``"trace"``).
+    The snapshot format is the versioned
+    :meth:`~repro.obs.core.MetricsSnapshot.to_dict` schema, so
+    ``fasea obs summary|diff`` can reload it later; the trace is one
+    JSON object per line (spans and events interleaved).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    metrics_path = directory / METRICS_FILENAME
+    metrics_path.write_text(snapshot_to_json(obs.snapshot()), encoding="utf-8")
+    trace_path = directory / TRACE_FILENAME
+    write_trace_jsonl(obs.trace_records(), trace_path)
+    return {"metrics": metrics_path, "trace": trace_path}
+
+
+def load_run_metrics(directory: Union[str, Path]) -> MetricsSnapshot:
+    """Reload the ``metrics.json`` written by :func:`persist_run_telemetry`."""
+    path = Path(directory)
+    if path.is_dir():
+        path = path / METRICS_FILENAME
+    if not path.is_file():
+        raise ConfigurationError(f"no metrics snapshot at {path}")
+    return snapshot_from_json(path.read_text(encoding="utf-8"))
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (

@@ -17,6 +17,7 @@ from typing import Callable, Tuple, TypeVar
 from repro.bandits.base import Policy
 from repro.datasets.synthetic import SyntheticWorld
 from repro.exceptions import ConfigurationError
+from repro.obs.core import Timer, current
 from repro.simulation.environment import FaseaEnvironment
 
 T = TypeVar("T")
@@ -29,31 +30,48 @@ def time_policy_rounds(
 
     Environment costs (context generation, feedback draws) are excluded
     — the paper times the algorithms, not the workload generator.
+
+    Durations accumulate in a fresh :class:`repro.obs.core.Timer` —
+    the same float additions, in the same order, as the plain
+    ``elapsed +=`` accumulator it replaces, so Tables 5/6 numbers are
+    bit-identical.  When a process-local registry is active the timer's
+    histogram is merged into ``metrics.round_seconds.<policy>`` so
+    resource studies appear in run telemetry.
     """
     if rounds < 1:
         raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
     env = FaseaEnvironment(world, run_seed=run_seed)
-    elapsed = 0.0
+    timer = Timer(f"metrics.round_seconds.{policy.name}")
     for _ in range(rounds):
         view = env.begin_round()
         start = time.perf_counter()
         arrangement = policy.select(view)
-        elapsed += time.perf_counter() - start
+        timer.observe(time.perf_counter() - start)
         rewards, _ = env.commit(arrangement)
         start = time.perf_counter()
         policy.observe(view, arrangement, rewards)
-        elapsed += time.perf_counter() - start
-    return elapsed / rounds
+        timer.observe(time.perf_counter() - start)
+    obs = current()
+    if obs.enabled:
+        obs.timer(timer.name).histogram.merge(timer.histogram)
+    return timer.total / rounds
 
 
 def measure_memory(fn: Callable[[], T]) -> Tuple[T, int]:
-    """Run ``fn`` under ``tracemalloc``; return (result, peak bytes)."""
+    """Run ``fn`` under ``tracemalloc``; return (result, peak bytes).
+
+    The peak is also published to the process-local registry (gauge
+    ``metrics.peak_traced_bytes``) when one is active.
+    """
     tracemalloc.start()
     try:
         result = fn()
         _, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
+    obs = current()
+    if obs.enabled:
+        obs.gauge("metrics.peak_traced_bytes").set(peak)
     return result, peak
 
 

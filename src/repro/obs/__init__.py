@@ -1,0 +1,67 @@
+"""repro.obs — zero-overhead telemetry for the FASEA reproduction.
+
+A process-local :class:`Instrumentation` registry of typed counters,
+gauges, fixed-bucket histograms, timers and run-scoped series, plus
+hierarchical span tracing — all behind the :data:`NULL_OBS` default so
+hot paths pay a single attribute check when telemetry is off.
+
+Usage::
+
+    from repro import obs
+
+    inst = obs.Instrumentation()
+    with obs.use(inst), inst.span("experiment", id="fig1"):
+        history = run_policy(policy, world, horizon=2000)
+    snapshot = inst.snapshot()            # mergeable, picklable
+    text = obs.to_prometheus_text(snapshot)
+
+Sinks: ``metrics.json`` / ``trace.jsonl`` next to each run
+(:func:`repro.io.runstore.persist_run_telemetry`), Prometheus text
+exposition (:func:`to_prometheus_text`), and the ``fasea obs
+summary|trace|diff`` CLI verbs (:mod:`repro.obs.cli`).
+"""
+
+from repro.obs.console import Console, color_allowed
+from repro.obs.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    MetricsSnapshot,
+    NULL_OBS,
+    NullInstrumentation,
+    Series,
+    Timer,
+    current,
+    set_current,
+    use,
+)
+from repro.obs.export import (
+    snapshot_from_json,
+    snapshot_to_json,
+    to_prometheus_text,
+)
+from repro.obs.trace import read_trace_jsonl, span_tree_lines, write_trace_jsonl
+
+__all__ = [
+    "Console",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsSnapshot",
+    "NULL_OBS",
+    "NullInstrumentation",
+    "Series",
+    "Timer",
+    "color_allowed",
+    "current",
+    "read_trace_jsonl",
+    "set_current",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "span_tree_lines",
+    "to_prometheus_text",
+    "use",
+    "write_trace_jsonl",
+]

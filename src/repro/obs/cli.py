@@ -1,0 +1,315 @@
+"""``fasea obs`` — inspect the telemetry a run left behind.
+
+Three verbs over the artefacts written by
+:func:`repro.io.runstore.persist_run_telemetry`:
+
+``summary``
+    Render a ``metrics.json`` snapshot: counters, gauges,
+    histogram/timer digests, per-policy diagnostics (theta-drift,
+    exploration telemetry, oracle fill rates) and the
+    capacity-exhaustion drop-point table (which round drained each
+    event's last seat, per policy).
+``trace``
+    Render a ``trace.jsonl`` file as an indented span tree (events
+    optional).
+``diff``
+    Compare two snapshots metric-by-metric; exits non-zero when any
+    value moved by more than ``--tolerance`` (relative) or a metric
+    appears/disappears.
+
+All human-facing output flows through :class:`repro.obs.console.Console`
+so ``--quiet`` and ``NO_COLOR`` behave uniformly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.obs.console import Console
+from repro.obs.core import MetricsSnapshot
+from repro.obs.export import snapshot_from_json, to_prometheus_text
+from repro.obs.trace import read_trace_jsonl, span_tree_lines
+
+#: Suffix of the per-policy exhaustion series (see ``record_policy_round``).
+EXHAUSTION_SUFFIX = ".capacity_exhausted"
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _resolve_metrics_path(target: Union[str, Path]) -> Path:
+    path = Path(target)
+    if path.is_dir():
+        path = path / "metrics.json"
+    if not path.is_file():
+        raise ConfigurationError(f"no metrics snapshot at {path}")
+    return path
+
+
+def load_snapshot(target: Union[str, Path]) -> MetricsSnapshot:
+    """Load a snapshot from a ``metrics.json`` file or its directory."""
+    path = _resolve_metrics_path(target)
+    return snapshot_from_json(path.read_text(encoding="utf-8"))
+
+
+def _resolve_trace_path(target: Union[str, Path]) -> Path:
+    path = Path(target)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    if not path.is_file():
+        raise ConfigurationError(f"no trace file at {path}")
+    return path
+
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
+def exhaustion_rows(snapshot: MetricsSnapshot) -> List[Tuple[str, int, int]]:
+    """``(policy, event_id, round)`` rows, one per drained event.
+
+    Derived from the ``policy.<label>.capacity_exhausted`` series where
+    each point is ``(round, event_id)``; the *first* round an event is
+    reported drained wins (re-runs merged into one snapshot may repeat
+    it).
+    """
+    rows: List[Tuple[str, int, int]] = []
+    for name, points in sorted(snapshot.series.items()):
+        if not (name.startswith("policy.") and name.endswith(EXHAUSTION_SUFFIX)):
+            continue
+        label = name[len("policy.") : -len(EXHAUSTION_SUFFIX)]
+        first_round: Dict[int, int] = {}
+        for step, value in points:
+            event_id = int(value)
+            step = int(step)
+            if event_id not in first_round or step < first_round[event_id]:
+                first_round[event_id] = step
+        rows.extend(
+            (label, event_id, round_)
+            for event_id, round_ in sorted(first_round.items())
+        )
+    return rows
+
+
+def _histogram_digest(payload: Dict[str, Any]) -> Tuple[int, float, float]:
+    count = int(payload.get("count", 0))
+    total = float(payload.get("sum", 0.0))
+    mean = total / count if count else 0.0
+    return count, total, mean
+
+
+def _series_digest(points: Sequence[Sequence[float]]) -> Tuple[int, float]:
+    last = float(points[-1][1]) if points else 0.0
+    return len(points), last
+
+
+def render_summary(snapshot: MetricsSnapshot) -> str:
+    """The ``fasea obs summary`` text body (without chrome)."""
+    from repro.experiments.reporting import format_table
+
+    sections: List[str] = []
+    if snapshot.counters:
+        rows = [[name, f"{value:g}"] for name, value in sorted(snapshot.counters.items())]
+        sections.append("counters\n" + format_table(["name", "value"], rows))
+    if snapshot.gauges:
+        rows = [[name, f"{value:g}"] for name, value in sorted(snapshot.gauges.items())]
+        sections.append("gauges\n" + format_table(["name", "value"], rows))
+    if snapshot.histograms:
+        rows = []
+        for name, payload in sorted(snapshot.histograms.items()):
+            count, total, mean = _histogram_digest(payload)
+            unit = payload.get("unit", "")
+            rows.append([name, str(count), f"{mean:.6g}", f"{total:.6g}", unit])
+        sections.append(
+            "histograms & timers\n"
+            + format_table(["name", "count", "mean", "total", "unit"], rows)
+        )
+    if snapshot.series:
+        rows = []
+        for name, points in sorted(snapshot.series.items()):
+            if name.endswith(EXHAUSTION_SUFFIX):
+                continue  # rendered as the drop-point table below
+            length, last = _series_digest(points)
+            rows.append([name, str(length), f"{last:.6g}"])
+        if rows:
+            sections.append(
+                "series\n" + format_table(["name", "points", "last"], rows)
+            )
+    drained = exhaustion_rows(snapshot)
+    if drained:
+        rows = [
+            [policy, str(event_id), str(round_)]
+            for policy, event_id, round_ in drained
+        ]
+        sections.append(
+            "capacity exhaustion (first round each event drained)\n"
+            + format_table(["policy", "event", "round"], rows)
+        )
+    if not sections:
+        return "snapshot is empty"
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def _flatten(snapshot: MetricsSnapshot) -> Dict[str, float]:
+    """One comparable scalar per metric name."""
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.counters.items():
+        flat[f"counter:{name}"] = float(value)
+    for name, value in snapshot.gauges.items():
+        flat[f"gauge:{name}"] = float(value)
+    for name, payload in snapshot.histograms.items():
+        count, total, _ = _histogram_digest(payload)
+        flat[f"histogram:{name}:count"] = float(count)
+        flat[f"histogram:{name}:sum"] = total
+    for name, points in snapshot.series.items():
+        length, last = _series_digest(points)
+        flat[f"series:{name}:points"] = float(length)
+        flat[f"series:{name}:last"] = last
+    return flat
+
+
+def diff_snapshots(
+    baseline: MetricsSnapshot,
+    candidate: MetricsSnapshot,
+    tolerance: float = 1e-9,
+    ignore_timings: bool = True,
+) -> List[str]:
+    """Human-readable drift lines (empty = snapshots agree).
+
+    ``ignore_timings`` skips wall-clock histograms/series (anything
+    tagged with a seconds unit or named ``*_seconds``): those are never
+    reproducible and would drown real drift.
+    """
+    base = _flatten(baseline)
+    cand = _flatten(candidate)
+    lines: List[str] = []
+    for key in sorted(set(base) | set(cand)):
+        if ignore_timings and ("_seconds" in key or "_latency" in key):
+            continue
+        if key not in base:
+            lines.append(f"+ {key} = {cand[key]:g} (only in candidate)")
+            continue
+        if key not in cand:
+            lines.append(f"- {key} = {base[key]:g} (only in baseline)")
+            continue
+        b, c = base[key], cand[key]
+        scale = max(abs(b), abs(c), 1.0)
+        if abs(b - c) > tolerance * scale:
+            lines.append(f"! {key}: {b:g} -> {c:g}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# argparse wiring (mirrors repro.devtools.lint.cli)
+# ----------------------------------------------------------------------
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``fasea obs`` arguments to a subparser."""
+    verbs = parser.add_subparsers(dest="obs_command", required=True)
+
+    summary = verbs.add_parser(
+        "summary", help="render a metrics.json snapshot"
+    )
+    summary.add_argument(
+        "target", help="run directory or metrics.json file"
+    )
+    summary.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json", "prometheus"),
+        help="output format (json/prometheus are machine-readable)",
+    )
+    summary.add_argument(
+        "--quiet", action="store_true", help="suppress human-readable chrome"
+    )
+
+    trace = verbs.add_parser("trace", help="render a trace.jsonl span tree")
+    trace.add_argument("target", help="run directory or trace.jsonl file")
+    trace.add_argument(
+        "--limit", type=int, default=200, help="maximum lines to render"
+    )
+    trace.add_argument(
+        "--events", action="store_true", help="include point events in the tree"
+    )
+    trace.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
+    diff = verbs.add_parser("diff", help="compare two metrics snapshots")
+    diff.add_argument("baseline", help="baseline run directory or metrics.json")
+    diff.add_argument("candidate", help="candidate run directory or metrics.json")
+    diff.add_argument(
+        "--tolerance", type=float, default=1e-9, help="relative tolerance"
+    )
+    diff.add_argument(
+        "--include-timings",
+        action="store_true",
+        help="also compare wall-clock metrics (never reproducible)",
+    )
+    diff.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
+
+def run_obs(args: argparse.Namespace, console: Optional[Console] = None) -> int:
+    """Execute one ``fasea obs`` verb; returns the process exit code."""
+    console = console or Console(quiet=bool(getattr(args, "quiet", False)))
+    try:
+        if args.obs_command == "summary":
+            return _summary(args, console)
+        if args.obs_command == "trace":
+            return _trace(args, console)
+        if args.obs_command == "diff":
+            return _diff(args, console)
+    except ConfigurationError as error:
+        console.error(f"fasea obs: {error}")
+        return 2
+    console.error(f"fasea obs: unknown verb {args.obs_command!r}")
+    return 2
+
+
+def _summary(args: argparse.Namespace, console: Console) -> int:
+    snapshot = load_snapshot(args.target)
+    if args.format == "json":
+        from repro.obs.export import snapshot_to_json
+
+        console.data(snapshot_to_json(snapshot), end="\n")
+        return 0
+    if args.format == "prometheus":
+        console.data(to_prometheus_text(snapshot), end="")
+        return 0
+    console.info(f"snapshot: {_resolve_metrics_path(args.target)}")
+    console.result(render_summary(snapshot))
+    return 0
+
+
+def _trace(args: argparse.Namespace, console: Console) -> int:
+    path = _resolve_trace_path(args.target)
+    records = read_trace_jsonl(path)
+    console.info(f"trace: {path} ({len(records)} records)")
+    lines = span_tree_lines(
+        records, limit=args.limit, include_events=args.events
+    )
+    for line in lines:
+        console.result(line)
+    if not lines:
+        console.result("(empty trace)")
+    return 0
+
+
+def _diff(args: argparse.Namespace, console: Console) -> int:
+    baseline = load_snapshot(args.baseline)
+    candidate = load_snapshot(args.candidate)
+    lines = diff_snapshots(
+        baseline,
+        candidate,
+        tolerance=args.tolerance,
+        ignore_timings=not args.include_timings,
+    )
+    if not lines:
+        console.info("snapshots agree")
+        return 0
+    for line in lines:
+        console.data(line)
+    console.warn(f"{len(lines)} metric(s) drifted")
+    return 1

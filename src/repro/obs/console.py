@@ -1,0 +1,99 @@
+"""Human-readable CLI chrome, in one place.
+
+Everything the ``fasea`` CLI says to a human flows through a
+:class:`Console`:
+
+* **results** (tables, reports) go to *stdout* and are suppressed by
+  ``--quiet`` — pipelines consuming ``fasea`` output see data only;
+* **progress/status** lines go to *stderr* always, so redirecting
+  stdout never loses them and never pollutes captured results;
+* colour honours the `NO_COLOR <https://no-color.org/>`_ convention and
+  is auto-disabled for non-TTY streams.
+
+Library code (``src/repro/`` outside the CLI) must not print at all —
+fasealint rule FAS009 enforces that telemetry goes through
+``repro.obs`` metrics/traces and diagnostics through return values.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import IO, Optional
+
+_RESET = "\x1b[0m"
+_STYLES = {
+    "bold": "\x1b[1m",
+    "dim": "\x1b[2m",
+    "red": "\x1b[31m",
+    "green": "\x1b[32m",
+    "yellow": "\x1b[33m",
+    "cyan": "\x1b[36m",
+}
+
+
+def color_allowed(stream: IO[str]) -> bool:
+    """Whether ANSI styling is appropriate for ``stream``.
+
+    False when ``NO_COLOR`` is set (any value), when ``TERM`` is
+    ``dumb``, or when the stream is not a terminal.
+    """
+    if os.environ.get("NO_COLOR") is not None:
+        return False
+    if os.environ.get("TERM", "") == "dumb":
+        return False
+    try:
+        return bool(stream.isatty())
+    except (AttributeError, ValueError):
+        return False
+
+
+class Console:
+    """Routes CLI chrome to the right stream with optional styling."""
+
+    def __init__(
+        self,
+        quiet: bool = False,
+        color: Optional[bool] = None,
+        out: Optional[IO[str]] = None,
+        err: Optional[IO[str]] = None,
+    ) -> None:
+        self.quiet = bool(quiet)
+        self.out = out if out is not None else sys.stdout
+        self.err = err if err is not None else sys.stderr
+        self._color_out = color if color is not None else color_allowed(self.out)
+        self._color_err = color if color is not None else color_allowed(self.err)
+
+    # -- styling -------------------------------------------------------
+    def style(self, text: str, style: str, stream: str = "out") -> str:
+        """Wrap ``text`` in ANSI codes when the target stream allows it."""
+        enabled = self._color_out if stream == "out" else self._color_err
+        code = _STYLES.get(style)
+        if not enabled or code is None:
+            return text
+        return f"{code}{text}{_RESET}"
+
+    # -- output channels ----------------------------------------------
+    def result(self, text: str = "", end: str = "\n") -> None:
+        """Primary output (tables, reports): stdout, silenced by --quiet."""
+        if self.quiet:
+            return
+        self.out.write(text + end)
+
+    def data(self, text: str, end: str = "\n") -> None:
+        """Machine-consumable output: stdout, **not** silenced by --quiet."""
+        self.out.write(text + end)
+
+    def info(self, text: str, end: str = "\n") -> None:
+        """Progress/status chrome: stderr, silenced by --quiet."""
+        if self.quiet:
+            return
+        self.err.write(text + end)
+
+    def warn(self, text: str, end: str = "\n") -> None:
+        """Warnings: stderr, never silenced."""
+        self.err.write(self.style(text, "yellow", stream="err") + end)
+
+    def error(self, text: str, end: str = "\n") -> None:
+        """Errors: stderr, never silenced."""
+        self.err.write(self.style(text, "red", stream="err") + end)

@@ -1,0 +1,114 @@
+"""JSONL trace sink: one span/event record per line.
+
+The line format is exactly what :meth:`Instrumentation.trace_records`
+produces — plain dicts with a ``kind`` discriminator (``"span"`` or
+``"event"``) — so reading a trace back yields the original records and
+``fasea obs trace`` can re-render the span hierarchy from
+``span_id``/``parent_id`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+
+TraceRecord = Dict[str, Any]
+
+
+def write_trace_jsonl(
+    records: Sequence[TraceRecord], path: Union[str, Path]
+) -> Path:
+    """Write trace ``records`` to ``path`` as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read a JSONL trace back into a list of record dicts."""
+    path = Path(path)
+    records: List[TraceRecord] = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{path}:{lineno}: invalid trace line: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"{path}:{lineno}: trace line is not an object"
+            )
+        records.append(record)
+    return records
+
+
+def span_tree_lines(
+    records: Sequence[TraceRecord],
+    limit: Optional[int] = None,
+    include_events: bool = True,
+) -> List[str]:
+    """Render trace records as an indented span tree.
+
+    Spans indent under their parent (depth from ``parent_id`` chains);
+    events indent under the span that was open when they fired.  Records
+    are listed in start order; ``limit`` truncates the output.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    depth: Dict[int, int] = {}
+    parent_of = {r.get("span_id"): r.get("parent_id") for r in spans}
+
+    def _depth(span_id: Optional[int]) -> int:
+        if span_id is None or span_id not in parent_of:
+            return 0
+        if span_id in depth:
+            return depth[span_id]
+        d = _depth(parent_of[span_id]) + (1 if parent_of[span_id] is not None else 0)
+        depth[span_id] = d
+        return d
+
+    # Order spans by start time; events by their monotonic timestamp.
+    def _key(record: TraceRecord) -> float:
+        if record.get("kind") == "span":
+            return float(record.get("start_ns", 0))
+        return float(record.get("ts_ns", 0))
+
+    lines: List[str] = []
+    for record in sorted(records, key=_key):
+        if record.get("kind") == "span":
+            indent = "  " * _depth(record.get("span_id"))
+            duration_ms = float(record.get("duration_ns", 0)) / 1e6
+            attrs = record.get("attrs") or {}
+            attr_text = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                if attrs
+                else ""
+            )
+            lines.append(
+                f"{indent}[span]  {record.get('name', '?')}"
+                f"  {duration_ms:.3f}ms{attr_text}"
+            )
+        elif include_events and record.get("kind") == "event":
+            parent = record.get("span_id")
+            indent = "  " * (_depth(parent) + (1 if parent is not None else 0))
+            fields = record.get("fields") or {}
+            field_text = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+                if fields
+                else ""
+            )
+            lines.append(f"{indent}[event] {record.get('name', '?')}{field_text}")
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... truncated at {limit} lines ...")
+            break
+    return lines

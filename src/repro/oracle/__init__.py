@@ -10,7 +10,7 @@ baseline.
 """
 
 from repro.oracle.exact import exact_arrangement
-from repro.oracle.greedy import oracle_greedy
+from repro.oracle.greedy import OracleStats, oracle_greedy
 from repro.oracle.random_order import random_arrangement
 
-__all__ = ["exact_arrangement", "oracle_greedy", "random_arrangement"]
+__all__ = ["OracleStats", "exact_arrangement", "oracle_greedy", "random_arrangement"]

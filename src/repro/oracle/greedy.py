@@ -20,6 +20,7 @@ is identical to a full stable sort.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -42,6 +43,43 @@ _PREFIX_MIN = 16
 _PREFIX_MIN_EVENTS = 512
 
 
+@dataclass
+class OracleStats:
+    """Per-call diagnostics of one Oracle-Greedy invocation.
+
+    Filled only when a caller passes ``stats=`` to :func:`oracle_greedy`
+    — the default path runs the original scan untouched, so disabled
+    instrumentation pays nothing inside the hot loop.
+
+    Attributes
+    ----------
+    candidates:
+        Events with remaining capacity at call time (the feasible pool).
+    visited:
+        Events the greedy scan actually inspected.
+    capacity_rejections:
+        Visited events skipped because their capacity was exhausted.
+    conflict_rejections:
+        Visited events skipped because they conflict with a chosen one.
+    arranged:
+        Size of the returned arrangement.
+    user_capacity:
+        ``c_u`` of the request (denominator of the fill rate).
+    """
+
+    candidates: int = 0
+    visited: int = 0
+    capacity_rejections: int = 0
+    conflict_rejections: int = 0
+    arranged: int = 0
+    user_capacity: int = 0
+
+    @property
+    def fill_rate(self) -> float:
+        """``arranged / c_u`` — 1.0 means the request was fully served."""
+        return self.arranged / self.user_capacity if self.user_capacity else 0.0
+
+
 def _greedy_scan(
     visit_order: IntArray,
     conflicts: BaseConflictGraph,
@@ -55,6 +93,35 @@ def _greedy_scan(
         if len(arrangement) >= user_capacity:
             return
         if remaining_capacities[event_id] <= 0 or blocked[event_id]:
+            continue
+        arrangement.append(int(event_id))
+        blocked |= conflicts.neighbor_mask_view(event_id)
+
+
+def _greedy_scan_stats(
+    visit_order: IntArray,
+    conflicts: BaseConflictGraph,
+    remaining_capacities: FloatArray,
+    user_capacity: int,
+    arrangement: List[int],
+    blocked: BoolArray,
+    stats: OracleStats,
+) -> None:
+    """:func:`_greedy_scan` with per-skip accounting.
+
+    A separate function (rather than ``if stats`` checks inside the
+    loop) keeps the uninstrumented scan byte-identical to PR 1's
+    kernel; the appended events are the same either way.
+    """
+    for event_id in visit_order.tolist():
+        if len(arrangement) >= user_capacity:
+            return
+        stats.visited += 1
+        if remaining_capacities[event_id] <= 0:
+            stats.capacity_rejections += 1
+            continue
+        if blocked[event_id]:
+            stats.conflict_rejections += 1
             continue
         arrangement.append(int(event_id))
         blocked |= conflicts.neighbor_mask_view(event_id)
@@ -88,6 +155,7 @@ def oracle_greedy(
     remaining_capacities: npt.ArrayLike,
     user_capacity: int,
     order: Optional[Sequence[int]] = None,
+    stats: Optional[OracleStats] = None,
 ) -> List[int]:
     """Return a feasible arrangement greedily by score.
 
@@ -106,6 +174,11 @@ def oracle_greedy(
     order:
         Optional explicit visiting order (used by the Random baseline);
         overrides the score sort when given.
+    stats:
+        Optional :class:`OracleStats` to fill with per-call diagnostics
+        (candidate pool size, skip reasons, fill rate).  ``None`` (the
+        default) runs the original uninstrumented scan — the returned
+        arrangement is identical either way.
 
     Returns
     -------
@@ -131,6 +204,9 @@ def oracle_greedy(
 
     arrangement: List[int] = []
     blocked: BoolArray = np.zeros(score_vec.size, dtype=bool)
+    if stats is not None:
+        stats.user_capacity = int(user_capacity)
+        stats.candidates = int((capacity_vec > 0).sum())
 
     if order is not None:
         visit_order: IntArray = np.asarray(order, dtype=int).reshape(-1)
@@ -142,11 +218,11 @@ def oracle_greedy(
             or not (np.bincount(visit_order, minlength=score_vec.size) == 1).all()
         ):
             raise ConfigurationError("order must be a permutation of all event ids")
-        _greedy_scan(
+        _scan(
             visit_order, conflicts, capacity_vec, user_capacity,
-            arrangement, blocked,
+            arrangement, blocked, stats,
         )
-        return arrangement
+        return _finish(arrangement, stats)
 
     prefix = max(_PREFIX_FACTOR * user_capacity, _PREFIX_MIN)
     prefix_order = (
@@ -155,12 +231,12 @@ def oracle_greedy(
         else None
     )
     if prefix_order is not None:
-        _greedy_scan(
+        _scan(
             prefix_order, conflicts, capacity_vec, user_capacity,
-            arrangement, blocked,
+            arrangement, blocked, stats,
         )
         if len(arrangement) >= user_capacity:
-            return arrangement
+            return _finish(arrangement, stats)
         # Prefix exhausted by conflicts/capacity: order the strictly
         # worse remainder and keep scanning with the same state.  The
         # concatenation [prefix order, remainder order] is exactly the
@@ -170,17 +246,46 @@ def oracle_greedy(
         # (NaN) entries still get visited, last, as a full sort would.
         rest = np.flatnonzero(~(score_vec >= cutoff))
         rest_order = rest[np.argsort(-score_vec[rest], kind="stable")]
-        _greedy_scan(
+        _scan(
             rest_order, conflicts, capacity_vec, user_capacity,
-            arrangement, blocked,
+            arrangement, blocked, stats,
         )
-        return arrangement
+        return _finish(arrangement, stats)
 
     # Stable sort on (-score) gives non-increasing score with
     # ascending-id tie-break.
     full_order: IntArray = np.argsort(-score_vec, kind="stable")
-    _greedy_scan(
+    _scan(
         full_order, conflicts, capacity_vec, user_capacity,
-        arrangement, blocked,
+        arrangement, blocked, stats,
     )
+    return _finish(arrangement, stats)
+
+
+def _scan(
+    visit_order: IntArray,
+    conflicts: BaseConflictGraph,
+    remaining_capacities: FloatArray,
+    user_capacity: int,
+    arrangement: List[int],
+    blocked: BoolArray,
+    stats: Optional[OracleStats],
+) -> None:
+    """Dispatch to the plain or stats-collecting scan exactly once."""
+    if stats is None:
+        _greedy_scan(
+            visit_order, conflicts, remaining_capacities, user_capacity,
+            arrangement, blocked,
+        )
+    else:
+        _greedy_scan_stats(
+            visit_order, conflicts, remaining_capacities, user_capacity,
+            arrangement, blocked, stats,
+        )
+
+
+def _finish(arrangement: List[int], stats: Optional[OracleStats]) -> List[int]:
+    """Record the arrangement size on ``stats`` and pass it through."""
+    if stats is not None:
+        stats.arranged = len(arrangement)
     return arrangement

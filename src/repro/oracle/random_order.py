@@ -8,14 +8,14 @@ uniformly random permutation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 import numpy.typing as npt
 
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.linalg.sampling import RngLike, make_rng
-from repro.oracle.greedy import oracle_greedy
+from repro.oracle.greedy import OracleStats, oracle_greedy
 
 
 def random_arrangement(
@@ -23,8 +23,14 @@ def random_arrangement(
     remaining_capacities: npt.ArrayLike,
     user_capacity: int,
     rng: RngLike = None,
+    stats: Optional[OracleStats] = None,
 ) -> List[int]:
-    """Arrange up to ``c_u`` available non-conflicting events at random."""
+    """Arrange up to ``c_u`` available non-conflicting events at random.
+
+    ``stats`` (optional) collects the same per-call diagnostics as
+    :func:`~repro.oracle.greedy.oracle_greedy`; it never changes the
+    arrangement or the RNG stream.
+    """
     rng = make_rng(rng)
     num_events = conflicts.num_events
     order = rng.permutation(num_events)
@@ -34,4 +40,5 @@ def random_arrangement(
         remaining_capacities=remaining_capacities,
         user_capacity=user_capacity,
         order=order,
+        stats=stats,
     )

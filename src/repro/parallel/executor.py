@@ -22,13 +22,42 @@ original exception in the parent, annotated with the unit index.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.exceptions import ConfigurationError
+from repro.obs.core import Instrumentation, MetricsSnapshot, current, use
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _run_unit_instrumented(
+    payload: Tuple[Callable[[Any], Any], Any, int, float],
+) -> Tuple[Any, MetricsSnapshot, List[Dict[str, Any]]]:
+    """Worker-side wrapper: run one unit under a fresh registry.
+
+    Each worker activates its own :class:`Instrumentation` so anything
+    the unit records (oracle counters, policy series, ...) lands in a
+    private snapshot that travels back with the result.  The parent
+    merges those snapshots **in submission order**, so the aggregate is
+    deterministic and independent of worker scheduling.
+
+    Queue latency is measured with wall-clock time (``time.time``):
+    ``perf_counter`` origins are not comparable across processes.
+    """
+    fn, unit, index, submitted_at = payload
+    worker_obs = Instrumentation()
+    queue_latency = max(0.0, time.time() - submitted_at)
+    with use(worker_obs):
+        start = time.perf_counter()
+        result = fn(unit)
+        wall = time.perf_counter() - start
+    worker_obs.timer("parallel.cell_seconds").observe(wall)
+    worker_obs.timer("parallel.queue_latency_seconds").observe(queue_latency)
+    worker_obs.series("parallel.cell_wall_seconds").append(index, wall)
+    return result, worker_obs.snapshot(), worker_obs.trace_records()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -77,9 +106,14 @@ def run_work_units(
     units = list(units)
     if not units:
         return []
+    obs = current()
     if jobs == 1 or len(units) == 1:
-        return [fn(unit) for unit in units]
+        if not obs.enabled:
+            return [fn(unit) for unit in units]
+        return _run_serial_instrumented(fn, units, obs)
     workers = min(jobs, len(units), os.cpu_count() or jobs)
+    if obs.enabled:
+        return _run_pool_instrumented(fn, units, workers, obs)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, unit) for unit in units]
         results: List[R] = []
@@ -92,4 +126,53 @@ def run_work_units(
                 if hasattr(error, "add_note"):  # pragma: no branch
                     error.add_note(f"raised by work unit {index}")
                 raise
+    return results
+
+
+def _run_serial_instrumented(
+    fn: Callable[[T], R], units: List[T], obs: Any
+) -> List[R]:
+    """Inline execution with per-cell timing (registry already current)."""
+    obs.gauge("parallel.workers").set(1)
+    obs.counter("parallel.units").inc(len(units))
+    timer = obs.timer("parallel.cell_seconds")
+    series = obs.series("parallel.cell_wall_seconds")
+    results: List[R] = []
+    with obs.span("run_work_units", jobs=1, units=len(units)):
+        for index, unit in enumerate(units):
+            start = time.perf_counter()
+            results.append(fn(unit))
+            wall = time.perf_counter() - start
+            timer.observe(wall)
+            series.append(index, wall)
+    return results
+
+
+def _run_pool_instrumented(
+    fn: Callable[[T], R], units: List[T], workers: int, obs: Any
+) -> List[R]:
+    """Pool execution with worker-side registries merged in unit order."""
+    obs.gauge("parallel.workers").set(workers)
+    obs.counter("parallel.units").inc(len(units))
+    results: List[R] = []
+    with obs.span("run_work_units", jobs=workers, units=len(units)):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_unit_instrumented, (fn, unit, index, time.time()))
+                for index, unit in enumerate(units)
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    result, snapshot, trace = future.result()
+                except Exception as error:
+                    for pending in futures[index + 1 :]:
+                        pending.cancel()
+                    if hasattr(error, "add_note"):  # pragma: no branch
+                        error.add_note(f"raised by work unit {index}")
+                    raise
+                # Submission-order merge: the aggregate is identical for
+                # every worker count and completion order.
+                obs.merge_snapshot(snapshot)
+                obs.merge_trace(trace)
+                results.append(result)
     return results

@@ -26,14 +26,27 @@ from repro.datasets.synthetic import SyntheticWorld
 from repro.ebsn.ledger import LedgerEntry
 from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
+from repro.obs.core import InstrumentationLike, current
 
 
 class FaseaEnvironment:
-    """One run's worth of platform state and random streams."""
+    """One run's worth of platform state and random streams.
 
-    def __init__(self, world: SyntheticWorld, run_seed: int = 0) -> None:
+    ``obs`` (optional) attaches an instrumentation registry; it defaults
+    to the process-local one from :func:`repro.obs.core.current`, which
+    is the no-op :data:`~repro.obs.core.NULL_OBS` unless a caller opted
+    in — so the default environment pays one attribute read per round.
+    """
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        run_seed: int = 0,
+        obs: Optional[InstrumentationLike] = None,
+    ) -> None:
         self.world = world
         self.platform = Platform(world.make_store(), world.conflicts)
+        self._obs = obs if obs is not None else current()
         root = np.random.SeedSequence(entropy=run_seed, spawn_key=(world.config.seed,))
         arrival_seq, context_seq, feedback_seq = root.spawn(3)
         self._arrivals = world.make_arrivals(np.random.default_rng(arrival_seq))
@@ -56,6 +69,8 @@ class FaseaEnvironment:
             raise ConfigurationError(
                 "begin_round called twice without an intervening commit"
             )
+        if self._obs.enabled:
+            self._obs.counter("env.rounds").inc()
         user = self._arrivals.next_user()
         contexts = self._sampler.sample(self._context_rng)
         thresholds = self._feedback_rng.uniform(size=self.num_events)
@@ -95,5 +110,10 @@ class FaseaEnvironment:
         entry = self.platform.commit(
             view.user, arranged, feedback=decisions.__getitem__
         )
+        obs = self._obs
+        if obs.enabled:
+            obs.counter("env.commits").inc()
+            obs.counter("env.arranged_events").inc(len(arranged))
+            obs.counter("env.accepted_events").inc(len(entry.accepted))
         rewards = accepted_mask.astype(float).tolist()
         return rewards, entry

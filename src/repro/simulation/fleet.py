@@ -16,6 +16,7 @@ individually with the same ``(world, run_seed)`` —
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -25,7 +26,9 @@ from repro.datasets.synthetic import SyntheticWorld
 from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
 from repro.metrics.kendall import kendall_tau
+from repro.obs.core import InstrumentationLike, current
 from repro.simulation.history import History, default_checkpoints
+from repro.simulation.runner import record_policy_round
 
 
 def run_policy_fleet(
@@ -36,16 +39,25 @@ def run_policy_fleet(
     track_kendall: bool = False,
     kendall_checkpoints: Optional[Sequence[int]] = None,
     eval_contexts: Optional[np.ndarray] = None,
+    obs: Optional[InstrumentationLike] = None,
 ) -> Dict[str, History]:
     """Play every policy on one shared stream; return histories by name.
 
     The dict keys become the ``policy_name`` of each returned history
     (useful when running several differently-parametrised instances of
-    the same algorithm).
+    the same algorithm).  They also label the telemetry (``obs``
+    defaults to :func:`repro.obs.core.current`): metrics appear as
+    ``policy.<key>.*`` so two TS instances with different widths stay
+    distinguishable.
     """
     if not policies:
         raise ConfigurationError("need at least one policy")
     horizon = horizon if horizon is not None else world.config.horizon
+    obs = obs if obs is not None else current()
+    instrumented = obs.enabled
+    if instrumented:
+        for name, policy in policies.items():
+            policy.bind_obs(obs, label=name)
 
     # Mirror FaseaEnvironment's stream construction exactly.
     root = np.random.SeedSequence(entropy=run_seed, spawn_key=(world.config.seed,))
@@ -75,40 +87,64 @@ def run_policy_fleet(
         true_scores = world.expected_rewards(eval_contexts)
 
     num_events = len(world.capacities)
-    for t in range(1, horizon + 1):
-        user = arrivals.next_user()
-        contexts = sampler.sample(context_rng)
-        thresholds = feedback_rng.uniform(size=num_events)
-        probabilities = world.accept_probabilities(contexts)
-        accepts = thresholds < probabilities
-        for name, policy in policies.items():
-            platform = platforms[name]
-            view = RoundView(
-                time_step=t,
-                user=user,
-                contexts=contexts,
-                remaining_capacities=platform.store.remaining_capacities,
-                conflicts=platform.conflicts,
-            )
-            arrangement = policy.select(view)
-            # Arrangements hold <= c_u events: scalar lookups beat
-            # fancy-indexing round trips at that size.
-            accepted_flags = [bool(accepts[event_id]) for event_id in arrangement]
-            decisions = dict(zip(arrangement, accepted_flags))
-            entry = platform.commit(
-                user, arrangement, feedback=decisions.__getitem__
-            )
-            policy.observe(
-                view, arrangement, [1.0 if flag else 0.0 for flag in accepted_flags]
-            )
-            rewards[name][t - 1] = entry.reward
-            arranged_counts[name][t - 1] = len(arrangement)
-            if t in checkpoint_set and true_scores is not None:
-                taus[name].append(
-                    kendall_tau(
-                        policy.ranking_scores(eval_contexts, t), true_scores
-                    )
+    with obs.span(
+        "run_policy_fleet",
+        policies=list(policies),
+        horizon=horizon,
+        run_seed=run_seed,
+    ):
+        for t in range(1, horizon + 1):
+            user = arrivals.next_user()
+            contexts = sampler.sample(context_rng)
+            thresholds = feedback_rng.uniform(size=num_events)
+            probabilities = world.accept_probabilities(contexts)
+            accepts = thresholds < probabilities
+            for name, policy in policies.items():
+                platform = platforms[name]
+                view = RoundView(
+                    time_step=t,
+                    user=user,
+                    contexts=contexts,
+                    remaining_capacities=platform.store.remaining_capacities,
+                    conflicts=platform.conflicts,
                 )
+                if instrumented:
+                    select_start = time.perf_counter()
+                arrangement = policy.select(view)
+                if instrumented:
+                    select_end = time.perf_counter()
+                # Arrangements hold <= c_u events: scalar lookups beat
+                # fancy-indexing round trips at that size.
+                accepted_flags = [bool(accepts[event_id]) for event_id in arrangement]
+                decisions = dict(zip(arrangement, accepted_flags))
+                entry = platform.commit(
+                    user, arrangement, feedback=decisions.__getitem__
+                )
+                if instrumented:
+                    observe_start = time.perf_counter()
+                policy.observe(
+                    view, arrangement, [1.0 if flag else 0.0 for flag in accepted_flags]
+                )
+                if instrumented:
+                    observe_end = time.perf_counter()
+                    record_policy_round(
+                        obs,
+                        policy,
+                        world.theta,
+                        platform.store,
+                        entry,
+                        t,
+                        select_end - select_start,
+                        observe_end - observe_start,
+                    )
+                rewards[name][t - 1] = entry.reward
+                arranged_counts[name][t - 1] = len(arrangement)
+                if t in checkpoint_set and true_scores is not None:
+                    taus[name].append(
+                        kendall_tau(
+                            policy.ranking_scores(eval_contexts, t), true_scores
+                        )
+                    )
 
     histories: Dict[str, History] = {}
     for name in policies:

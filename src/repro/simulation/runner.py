@@ -16,9 +16,51 @@ import numpy as np
 
 from repro.bandits.base import Policy
 from repro.datasets.synthetic import SyntheticWorld
+from repro.ebsn.events import EventStore
+from repro.ebsn.ledger import LedgerEntry
 from repro.metrics.kendall import kendall_tau
+from repro.obs.core import InstrumentationLike, current
 from repro.simulation.environment import FaseaEnvironment
 from repro.simulation.history import History, default_checkpoints
+
+
+def record_policy_round(
+    obs: InstrumentationLike,
+    policy: Policy,
+    theta_true: np.ndarray,
+    store: EventStore,
+    entry: LedgerEntry,
+    time_step: int,
+    select_seconds: float,
+    observe_seconds: float,
+) -> None:
+    """Fold one instrumented round into ``obs`` (runner + fleet share this).
+
+    Records per-policy select/observe timings, the per-round reward
+    series, the estimate drift ``||theta^ - theta||`` (policies without
+    a model skip it), and — the paper's Section 6.2 diagnostic — a
+    capacity-exhaustion event whenever an accepted registration drains
+    an event's last seat.  Never touches any RNG stream.
+    """
+    obs.timer(policy.obs_name("select_seconds")).observe(select_seconds)
+    obs.timer(policy.obs_name("observe_seconds")).observe(observe_seconds)
+    obs.series(policy.obs_name("reward")).append(time_step, float(entry.reward))
+    estimate = policy.theta_estimate()
+    if estimate is not None:
+        obs.series(policy.obs_name("theta_drift")).append(
+            time_step, float(np.linalg.norm(estimate - theta_true))
+        )
+    for event_id in entry.accepted:
+        if store.remaining(event_id) <= 0.0:
+            obs.series(policy.obs_name("capacity_exhausted")).append(
+                time_step, float(event_id)
+            )
+            obs.event(
+                "capacity_exhausted",
+                policy=policy._obs_label or policy.name,
+                event_id=int(event_id),
+                time_step=time_step,
+            )
 
 
 def run_policy(
@@ -29,6 +71,7 @@ def run_policy(
     track_kendall: bool = False,
     kendall_checkpoints: Optional[Sequence[int]] = None,
     eval_contexts: Optional[np.ndarray] = None,
+    obs: Optional[InstrumentationLike] = None,
 ) -> History:
     """Play ``policy`` for ``horizon`` rounds and return its history.
 
@@ -52,9 +95,19 @@ def run_policy(
     eval_contexts:
         Context matrix for the ranking diagnostic; default is the
         world's deterministic evaluation set.
+    obs:
+        Instrumentation registry; defaults to the process-local one
+        (:func:`repro.obs.core.current`).  When enabled the run records
+        per-round theta-drift, select/observe timings, oracle telemetry
+        and capacity-exhaustion events — none of which touch the RNG
+        streams, so results are bit-identical either way.
     """
     horizon = horizon if horizon is not None else world.config.horizon
-    env = FaseaEnvironment(world, run_seed=run_seed)
+    obs = obs if obs is not None else current()
+    instrumented = obs.enabled
+    if instrumented:
+        policy.bind_obs(obs)
+    env = FaseaEnvironment(world, run_seed=run_seed, obs=obs)
     rewards = np.zeros(horizon)
     arranged_counts = np.zeros(horizon)
 
@@ -76,26 +129,41 @@ def run_policy(
         true_ranking_scores = world.expected_rewards(eval_contexts)
 
     elapsed = 0.0
-    for t in range(1, horizon + 1):
-        view = env.begin_round()
-        start = time.perf_counter()
-        arrangement = policy.select(view)
-        mid = time.perf_counter()
-        round_rewards, _ = env.commit(arrangement)
-        resumed = time.perf_counter()
-        policy.observe(view, arrangement, round_rewards)
-        elapsed += (mid - start) + (time.perf_counter() - resumed)
-        rewards[t - 1] = sum(round_rewards)
-        arranged_counts[t - 1] = len(arrangement)
-        if t in checkpoint_set and true_ranking_scores is not None:
-            estimated = policy.ranking_scores(eval_contexts, t)
-            steps.append(t)
-            taus.append(kendall_tau(estimated, true_ranking_scores))
+    with obs.span("run_policy", policy=policy.name, horizon=horizon, run_seed=run_seed):
+        for t in range(1, horizon + 1):
+            view = env.begin_round()
+            start = time.perf_counter()
+            arrangement = policy.select(view)
+            mid = time.perf_counter()
+            round_rewards, entry = env.commit(arrangement)
+            resumed = time.perf_counter()
+            policy.observe(view, arrangement, round_rewards)
+            done = time.perf_counter()
+            elapsed += (mid - start) + (done - resumed)
+            rewards[t - 1] = sum(round_rewards)
+            arranged_counts[t - 1] = len(arrangement)
+            if instrumented:
+                record_policy_round(
+                    obs,
+                    policy,
+                    world.theta,
+                    env.platform.store,
+                    entry,
+                    t,
+                    mid - start,
+                    done - resumed,
+                )
+            if t in checkpoint_set and true_ranking_scores is not None:
+                estimated = policy.ranking_scores(eval_contexts, t)
+                steps.append(t)
+                taus.append(kendall_tau(estimated, true_ranking_scores))
 
     if track_kendall:
         kendall_steps = np.asarray(steps, dtype=int)
         kendall_taus = np.asarray(taus, dtype=float)
 
+    if instrumented:
+        obs.counter(policy.obs_name("rounds")).inc(horizon)
     return History(
         policy_name=policy.name,
         rewards=rewards,

@@ -1,0 +1,19 @@
+"""FAS009 fixture: library modules must not print.
+
+Chrome belongs to repro.obs.console.Console; telemetry to repro.obs.
+"""
+
+
+def report_progress(step):
+    print(f"step {step}")  # -> FAS009
+
+
+def debug_dump(values):
+    for value in values:
+        print(value)  # -> FAS009
+
+
+def chatty_helper():
+    message = "done"
+    print(message)  # -> FAS009
+    return message

@@ -1,4 +1,4 @@
-"""Tests for the fasealint static-analysis subsystem (FAS001-FAS008).
+"""Tests for the fasealint static-analysis subsystem (FAS001-FAS009).
 
 Covers: per-rule firing on known-bad fixtures, the golden JSON report,
 pragma suppression at line/file granularity, select/ignore filtering,
@@ -39,6 +39,7 @@ ALL_RULES = (
     "FAS006",
     "FAS007",
     "FAS008",
+    "FAS009",
 )
 
 #: fixture file (relative to CASES) -> (rule id, expected hit count)
@@ -51,6 +52,7 @@ RULE_FIXTURES = {
     "fas006_unpicklable.py": ("FAS006", 3),
     "src/repro/linalg/fas007_shapes.py": ("FAS007", 4),
     "src/fas008_assert.py": ("FAS008", 2),
+    "src/repro/fas009_print.py": ("FAS009", 3),
 }
 
 

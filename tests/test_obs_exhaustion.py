@@ -1,0 +1,104 @@
+"""Golden test for the capacity-exhaustion detector (DESIGN.md §5.8).
+
+OPT on the tiny 6-event world drains every event at a *known* round —
+the world and run streams are seeded, so the drop points are exact
+constants.  The telemetry pipeline must carry them unchanged from the
+runner, through ``metrics.json``, into ``fasea obs summary``.
+"""
+
+import json
+
+import pytest
+
+from repro.bandits import OptPolicy
+from repro.cli import main as cli_main
+from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.io.runstore import load_run_metrics, persist_run_telemetry
+from repro.obs.cli import exhaustion_rows
+from repro.obs.core import Instrumentation
+from repro.simulation.runner import run_policy
+
+#: (round, event_id) at which OPT drains each event's last seat on the
+#: seeded tiny world below — golden constants, pinned.
+GOLDEN_DROP_POINTS = [[2, 5.0], [4, 3.0], [5, 2.0], [8, 4.0], [10, 1.0], [12, 0.0]]
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    return build_world(
+        SyntheticConfig(
+            num_events=6,
+            horizon=300,
+            dim=3,
+            capacity_mean=2.0,
+            capacity_std=1.0,
+            conflict_ratio=0.0,
+            seed=1,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def opt_obs(tiny_world):
+    obs = Instrumentation()
+    run_policy(OptPolicy(tiny_world.theta), tiny_world, run_seed=0, obs=obs)
+    return obs
+
+
+def test_opt_drains_known_events_at_known_rounds(opt_obs):
+    snapshot = opt_obs.snapshot()
+    assert snapshot.series["policy.OPT.capacity_exhausted"] == GOLDEN_DROP_POINTS
+
+
+def test_every_event_is_reported_exactly_once(opt_obs, tiny_world):
+    points = opt_obs.snapshot().series["policy.OPT.capacity_exhausted"]
+    event_ids = sorted(int(value) for _, value in points)
+    assert event_ids == list(range(len(tiny_world.capacities)))
+
+
+def test_trace_carries_matching_exhaustion_events(opt_obs):
+    events = [
+        record
+        for record in opt_obs.trace_records()
+        if record.get("kind") == "event" and record["name"] == "capacity_exhausted"
+    ]
+    observed = [[e["fields"]["time_step"], float(e["fields"]["event_id"])] for e in events]
+    assert observed == GOLDEN_DROP_POINTS
+    assert all(event["fields"]["policy"] == "OPT" for event in events)
+
+
+def test_drop_points_survive_metrics_json(opt_obs, tmp_path):
+    paths = persist_run_telemetry(tmp_path, opt_obs)
+    payload = json.loads(paths["metrics"].read_text())
+    assert payload["series"]["policy.OPT.capacity_exhausted"] == GOLDEN_DROP_POINTS
+    reloaded = load_run_metrics(tmp_path)
+    assert reloaded.series["policy.OPT.capacity_exhausted"] == GOLDEN_DROP_POINTS
+
+
+def test_exhaustion_rows_take_first_drain_per_event(opt_obs):
+    rows = exhaustion_rows(opt_obs.snapshot())
+    assert rows == [
+        ("OPT", 0, 12),
+        ("OPT", 1, 10),
+        ("OPT", 2, 5),
+        ("OPT", 3, 4),
+        ("OPT", 4, 8),
+        ("OPT", 5, 2),
+    ]
+
+
+def test_obs_summary_prints_the_drop_point_table(opt_obs, tmp_path, capsys):
+    persist_run_telemetry(tmp_path, opt_obs)
+    assert cli_main(["obs", "summary", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "capacity exhaustion" in out
+    # The earliest drained event: event 5 at round 2.
+    lines = [line.split() for line in out.splitlines() if line.startswith("OPT")]
+    assert ["OPT", "5", "2"] in lines
+    assert ["OPT", "0", "12"] in lines
+
+
+def test_detector_is_silent_without_instrumentation(tiny_world):
+    # NULL obs: identical run, nothing recorded anywhere.
+    history = run_policy(OptPolicy(tiny_world.theta), tiny_world, run_seed=0)
+    assert history.horizon == 300

@@ -58,12 +58,50 @@ def build_parser() -> argparse.ArgumentParser:
             "each experiment's reports; inspect with 'fasea obs'"
         ),
     )
+    run.add_argument(
+        "--profile",
+        nargs="?",
+        const=16,
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "enable the deterministic sampling profiler (implies --obs): "
+            "sample every N-th round (default 16) and write profile.json "
+            "+ profile.folded next to each experiment's reports"
+        ),
+    )
+    run.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "stream telemetry incrementally while running (implies --obs); "
+            "follow with 'fasea obs tail <dir>' from another terminal"
+        ),
+    )
 
     quickstart = sub.add_parser("quickstart", help="run a tiny demonstration")
     quickstart.add_argument(
         "--obs",
         action="store_true",
         help="record telemetry for the demonstration run",
+    )
+    quickstart.add_argument(
+        "--profile",
+        nargs="?",
+        const=16,
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "enable the sampling profiler (implies --obs); writes "
+            "profile.json + profile.folded under --out"
+        ),
+    )
+    quickstart.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream telemetry while running (implies --obs)",
     )
     quickstart.add_argument(
         "--out",
@@ -149,7 +187,13 @@ def _run_experiments(args: argparse.Namespace) -> int:
     from repro.obs.console import Console
 
     console = Console(quiet=args.quiet)
-    record_obs = bool(getattr(args, "obs", False))
+    profile_every = getattr(args, "profile", None)
+    stream_enabled = bool(getattr(args, "stream", False))
+    record_obs = (
+        bool(getattr(args, "obs", False))
+        or profile_every is not None
+        or stream_enabled
+    )
     ids = list_experiments() if "all" in args.ids else args.ids
     outdir = Path(args.out)
     for experiment_id in ids:
@@ -168,9 +212,25 @@ def _run_experiments(args: argparse.Namespace) -> int:
             from repro.obs.core import Instrumentation, use
 
             obs = Instrumentation()
-            with obs.span("experiment", experiment_id=experiment_id):
-                with use(obs):
-                    result = runner(**kwargs)
+            stream_sink = None
+            if profile_every is not None:
+                from repro.obs.profile import ProfileConfig
+
+                obs.profile_config = ProfileConfig(sample_every=profile_every)
+            if stream_enabled:
+                from repro.obs.stream import StreamingSink
+
+                # save_result writes into outdir/<id>/ — stream there so
+                # the live artefacts and the final ones share a home.
+                stream_sink = StreamingSink(outdir / experiment_id, obs)
+                obs.stream_sink = stream_sink
+            try:
+                with obs.span("experiment", experiment_id=experiment_id):
+                    with use(obs):
+                        result = runner(**kwargs)
+            finally:
+                if stream_sink is not None:
+                    stream_sink.close()
         else:
             obs = None
             result = runner(**kwargs)
@@ -181,6 +241,13 @@ def _run_experiments(args: argparse.Namespace) -> int:
 
             persist_run_telemetry(directory, obs)
             console.info(f"[{experiment_id}] telemetry in {directory}")
+            if profile_every is not None:
+                from repro.obs.profile import Profile, write_profile
+
+                paths = write_profile(
+                    directory, Profile.from_trace_records(obs.trace_records())
+                )
+                console.info(f"[{experiment_id}] profile in {paths['profile']}")
         console.result(render_result(result))
         console.info(f"[{experiment_id}] saved to {directory} ({elapsed:.1f}s)")
     return 0
@@ -191,32 +258,59 @@ def _quickstart(args: argparse.Namespace) -> int:
     from repro.obs.console import Console
 
     console = Console(quiet=args.quiet)
-    record_obs = bool(getattr(args, "obs", False))
+    profile_every = getattr(args, "profile", None)
+    stream_enabled = bool(getattr(args, "stream", False))
+    record_obs = (
+        bool(getattr(args, "obs", False))
+        or profile_every is not None
+        or stream_enabled
+    )
+    stream_sink = None
     if record_obs:
         from repro.obs.core import Instrumentation
 
         obs = Instrumentation()
+        if profile_every is not None:
+            from repro.obs.profile import ProfileConfig
+
+            obs.profile_config = ProfileConfig(sample_every=profile_every)
+        if stream_enabled:
+            from repro.obs.stream import StreamingSink
+
+            stream_sink = StreamingSink(args.out, obs)
+            obs.stream_sink = stream_sink
     else:
         from repro.obs.core import NULL_OBS
 
         obs = NULL_OBS
     config = SyntheticConfig.scaled_default(seed=42)
     world = build_world(config)
-    opt_history = run_policy(OptPolicy(world.theta), world, horizon=2000, obs=obs)
-    console.result("policy     accept_ratio  total_reward  regret_vs_OPT")
-    for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
-        policy = make_policy(name, dim=config.dim, seed=7)
-        history = run_policy(policy, world, horizon=2000, obs=obs)
-        regret = opt_history.total_reward - history.total_reward
-        console.result(
-            f"{name:<10} {history.overall_accept_ratio:>12.3f} "
-            f"{history.total_reward:>13.0f} {regret:>14.0f}"
-        )
+    try:
+        opt_history = run_policy(OptPolicy(world.theta), world, horizon=2000, obs=obs)
+        console.result("policy     accept_ratio  total_reward  regret_vs_OPT")
+        for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
+            policy = make_policy(name, dim=config.dim, seed=7)
+            history = run_policy(policy, world, horizon=2000, obs=obs)
+            regret = opt_history.total_reward - history.total_reward
+            console.result(
+                f"{name:<10} {history.overall_accept_ratio:>12.3f} "
+                f"{history.total_reward:>13.0f} {regret:>14.0f}"
+            )
+    finally:
+        if stream_sink is not None:
+            stream_sink.close()
     if record_obs:
         from repro.io.runstore import persist_run_telemetry
 
         paths = persist_run_telemetry(args.out, obs)
         console.info(f"telemetry written to {paths['metrics'].parent}")
+        if profile_every is not None:
+            from repro.obs.profile import Profile, write_profile
+
+            profile_paths = write_profile(
+                args.out, Profile.from_trace_records(obs.trace_records())
+            )
+            console.info(f"profile written to {profile_paths['profile']}")
     return 0
 
 

@@ -1,4 +1,4 @@
-"""The fasealint rule catalogue (FAS001-FAS009).
+"""The fasealint rule catalogue (FAS001-FAS010).
 
 Every rule guards an invariant the FASEA reproduction's headline claims
 depend on — see DESIGN.md §5.7 for the rationale per rule.  Rules are
@@ -671,3 +671,117 @@ class NoLibraryPrintRule(Rule):
                 "or record telemetry via repro.obs",
             )
         ]
+
+
+# ----------------------------------------------------------------------
+# FAS010 — no raw wall-clock reads in library timing paths
+# ----------------------------------------------------------------------
+@register
+class NoWallClockRule(Rule):
+    """``time.time()`` / ``datetime.now()`` in ``src/`` break timing
+    reproducibility: they jump under NTP slews and DST, so durations
+    measured with them are not comparable across runs (and streaming
+    flush cadences would mis-fire).  Durations must come from the
+    monotonic clock and the *one* sanctioned wall-clock site is
+    :func:`repro.obs.clock.wall_time` — which exists so artefact
+    timestamps remain greppable and mockable.  Tests and benchmarks are
+    exempt.
+    """
+
+    rule_id = "FAS010"
+    summary = "no time.time/datetime.now in src/; use repro.obs.clock"
+
+    #: ``time.<attr>`` calls that read a non-monotonic clock.
+    _TIME_ATTRS = frozenset({"time", "time_ns", "clock"})
+    #: ``datetime.<attr>`` / ``date.<attr>`` constructors of "now".
+    _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+    #: The single module allowed to call ``time.time`` directly.
+    _EXEMPT_PREFIXES: Tuple[Tuple[str, ...], ...] = (
+        ("repro", "obs", "clock"),
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.is_src:
+            return False
+        return not any(
+            ctx.in_package(*prefix) for prefix in self._EXEMPT_PREFIXES
+        )
+
+    def prepare(self, ctx: FileContext) -> None:
+        self._time_aliases: Set[str] = set()
+        self._datetime_module_aliases: Set[str] = set()
+        self._datetime_class_aliases: Set[str] = set()
+        self._flagged_names: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self._time_aliases.add(bound)
+                    elif alias.name == "datetime":
+                        self._datetime_module_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in self._TIME_ATTRS:
+                            self._flagged_names[alias.asname or alias.name] = (
+                                f"time.{alias.name}"
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self._datetime_class_aliases.add(
+                                alias.asname or alias.name
+                            )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterable[Violation]:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return ()
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            origin = self._flagged_names.get(parts[0])
+            if origin is not None:
+                return [
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{origin}() reads the adjustable wall clock; use "
+                        "repro.obs.clock.monotonic for durations or "
+                        "repro.obs.clock.wall_time for timestamps",
+                    )
+                ]
+            return ()
+        head, attr = parts[0], parts[-1]
+        if (
+            len(parts) == 2
+            and head in self._time_aliases
+            and attr in self._TIME_ATTRS
+        ):
+            return [
+                self.violation(
+                    ctx,
+                    node,
+                    f"time.{attr}() reads the adjustable wall clock; use "
+                    "repro.obs.clock.monotonic for durations or "
+                    "repro.obs.clock.wall_time for timestamps",
+                )
+            ]
+        datetime_call = (
+            len(parts) == 2 and head in self._datetime_class_aliases
+        ) or (
+            len(parts) == 3
+            and head in self._datetime_module_aliases
+            and parts[1] in ("datetime", "date")
+        )
+        if datetime_call and attr in self._DATETIME_ATTRS:
+            return [
+                self.violation(
+                    ctx,
+                    node,
+                    f"datetime.{attr}() is timezone/DST-dependent; take "
+                    "timestamps from repro.obs.clock.wall_time and format "
+                    "at the presentation layer",
+                )
+            ]
+        return ()

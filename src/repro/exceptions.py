@@ -35,3 +35,14 @@ class LedgerError(ReproError):
 
 class NotFittedError(ReproError):
     """A model was queried before observing any data it requires."""
+
+
+class SchemaError(ReproError):
+    """A persisted artefact carries an unknown or incompatible schema.
+
+    Raised when loading ``metrics.json`` snapshots, profiles or bench
+    history records whose major schema version this library does not
+    understand — a clear signal to upgrade instead of a ``KeyError``
+    deep inside the loader.
+    """
+

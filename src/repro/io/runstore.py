@@ -16,13 +16,14 @@ share across processes thanks to SQLite's own locking.
 
 from __future__ import annotations
 
+import os
 import sqlite3
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.obs.clock import wall_time
 from repro.obs.core import InstrumentationLike, MetricsSnapshot
 from repro.obs.export import snapshot_from_json, snapshot_to_json
 from repro.obs.trace import write_trace_jsonl
@@ -31,6 +32,26 @@ from repro.simulation.history import History
 #: Telemetry artefact filenames written next to each run's outputs.
 METRICS_FILENAME = "metrics.json"
 TRACE_FILENAME = "trace.jsonl"
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The content lands under a dotted temp name in the same directory and
+    is renamed over the target in one step, so readers — including a
+    ``fasea obs tail`` following the file from another terminal — never
+    observe a half-written document, and a crash mid-write leaves the
+    previous version intact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.parent / f".{path.name}.tmp"
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return path
 
 
 def persist_run_telemetry(
@@ -43,24 +64,53 @@ def persist_run_telemetry(
     :meth:`~repro.obs.core.MetricsSnapshot.to_dict` schema, so
     ``fasea obs summary|diff`` can reload it later; the trace is one
     JSON object per line (spans and events interleaved).
+
+    Both artefacts are written atomically (temp file + ``os.replace``),
+    including the final snapshot of a streamed run, and the metrics
+    document is round-tripped through the schema loader before the
+    paths are returned — an unreadable snapshot fails *here*, with a
+    :class:`repro.exceptions.SchemaError`, not at inspection time.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     metrics_path = directory / METRICS_FILENAME
-    metrics_path.write_text(snapshot_to_json(obs.snapshot()), encoding="utf-8")
+    document = snapshot_to_json(obs.snapshot())
+    # Round-trip check: the document we are about to publish must load
+    # through the schema-validating path (unknown major versions raise).
+    snapshot_from_json(document)
+    atomic_write_text(metrics_path, document)
     trace_path = directory / TRACE_FILENAME
-    write_trace_jsonl(obs.trace_records(), trace_path)
+    write_trace_jsonl(obs.trace_records(), trace_path, atomic=True)
     return {"metrics": metrics_path, "trace": trace_path}
 
 
 def load_run_metrics(directory: Union[str, Path]) -> MetricsSnapshot:
-    """Reload the ``metrics.json`` written by :func:`persist_run_telemetry`."""
+    """Reload the ``metrics.json`` written by :func:`persist_run_telemetry`.
+
+    Raises :class:`repro.exceptions.SchemaError` when the document's
+    major schema version is unknown (see
+    :meth:`repro.obs.core.MetricsSnapshot.from_dict`).
+    """
     path = Path(directory)
     if path.is_dir():
         path = path / METRICS_FILENAME
     if not path.is_file():
         raise ConfigurationError(f"no metrics snapshot at {path}")
     return snapshot_from_json(path.read_text(encoding="utf-8"))
+
+
+# Re-exported for callers that want to surface the failure mode in docs
+# or except clauses without importing repro.exceptions directly.
+__all__ = [
+    "METRICS_FILENAME",
+    "TRACE_FILENAME",
+    "RunRecord",
+    "RunStore",
+    "atomic_write_text",
+    "load_run_metrics",
+    "persist_run_telemetry",
+    "SchemaError",
+]
 
 
 _SCHEMA = """
@@ -153,7 +203,7 @@ class RunStore:
                 history.overall_accept_ratio,
                 total_regret,
                 history.avg_round_time,
-                time.time(),
+                wall_time(),
             ),
         )
         run_id = int(cursor.lastrowid)

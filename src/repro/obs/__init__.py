@@ -16,9 +16,13 @@ Usage::
     text = obs.to_prometheus_text(snapshot)
 
 Sinks: ``metrics.json`` / ``trace.jsonl`` next to each run
-(:func:`repro.io.runstore.persist_run_telemetry`), Prometheus text
-exposition (:func:`to_prometheus_text`), and the ``fasea obs
-summary|trace|diff`` CLI verbs (:mod:`repro.obs.cli`).
+(:func:`repro.io.runstore.persist_run_telemetry`), the crash-safe
+streaming sink (:class:`StreamingSink`), Prometheus text exposition
+(:func:`to_prometheus_text`), and the ``fasea obs
+summary|trace|diff|tail|profile|bench`` CLI verbs
+(:mod:`repro.obs.cli`).  The deterministic sampling profiler lives in
+:mod:`repro.obs.profile`; the perf-regression observatory in
+:mod:`repro.obs.bench`.
 """
 
 from repro.obs.console import Console, color_allowed
@@ -41,7 +45,14 @@ from repro.obs.export import (
     snapshot_to_json,
     to_prometheus_text,
 )
-from repro.obs.trace import read_trace_jsonl, span_tree_lines, write_trace_jsonl
+from repro.obs.profile import Profile, ProfileConfig, load_profile, write_profile
+from repro.obs.stream import StreamingSink, run_tail, tail_lines
+from repro.obs.trace import (
+    append_trace_jsonl,
+    read_trace_jsonl,
+    span_tree_lines,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "Console",
@@ -52,16 +63,24 @@ __all__ = [
     "MetricsSnapshot",
     "NULL_OBS",
     "NullInstrumentation",
+    "Profile",
+    "ProfileConfig",
     "Series",
+    "StreamingSink",
     "Timer",
+    "append_trace_jsonl",
     "color_allowed",
     "current",
+    "load_profile",
     "read_trace_jsonl",
+    "run_tail",
     "set_current",
     "snapshot_from_json",
     "snapshot_to_json",
     "span_tree_lines",
+    "tail_lines",
     "to_prometheus_text",
     "use",
+    "write_profile",
     "write_trace_jsonl",
 ]

@@ -1,7 +1,7 @@
-"""``fasea obs`` — inspect the telemetry a run left behind.
+"""``fasea obs`` — inspect the telemetry a run left behind (or is leaving).
 
-Three verbs over the artefacts written by
-:func:`repro.io.runstore.persist_run_telemetry`:
+Verbs over the artefacts written by
+:func:`repro.io.runstore.persist_run_telemetry` and the streaming sink:
 
 ``summary``
     Render a ``metrics.json`` snapshot: counters, gauges,
@@ -16,6 +16,19 @@ Three verbs over the artefacts written by
     Compare two snapshots metric-by-metric; exits non-zero when any
     value moved by more than ``--tolerance`` (relative) or a metric
     appears/disappears.
+``tail``
+    Live-follow a (possibly still running) run directory: re-render the
+    health block whenever the streaming sink rotates ``metrics.json``.
+``profile``
+    Render a run's deterministic sampling profile as a hottest-first
+    table, or emit flamegraph.pl-compatible folded stacks
+    (``--folded``); rebuilds the profile from ``trace.jsonl`` when no
+    ``profile.json`` was written.
+``bench run|compare|report``
+    The perf-regression observatory: run the deterministic smoke
+    benchmark into a stamped ``BENCH_history.jsonl``, gate a candidate
+    history against a baseline with bootstrap CIs (exit 1 on
+    regression), and render the static HTML trend dashboard.
 
 All human-facing output flows through :class:`repro.obs.console.Console`
 so ``--quiet`` and ``NO_COLOR`` behave uniformly.
@@ -250,9 +263,101 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
     diff.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
 
+    tail = verbs.add_parser(
+        "tail", help="live-follow a run directory's metrics.json"
+    )
+    tail.add_argument("target", help="run directory or metrics.json file")
+    tail.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval in seconds"
+    )
+    tail.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current snapshot once and exit",
+    )
+    tail.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop after this many re-renders (default: follow forever)",
+    )
+    tail.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
+    profile = verbs.add_parser(
+        "profile", help="render a run's sampling profile"
+    )
+    profile.add_argument(
+        "target",
+        help="run directory, profile.json, or trace.jsonl to rebuild from",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=30, help="maximum table rows"
+    )
+    profile.add_argument(
+        "--folded",
+        action="store_true",
+        help="emit flamegraph.pl-compatible folded stacks instead",
+    )
+    profile.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
+    bench = verbs.add_parser(
+        "bench", help="perf-regression observatory (history/compare/report)"
+    )
+    bench.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+    bench_verbs = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_verbs.add_parser(
+        "run", help="run the deterministic smoke benchmark into a history"
+    )
+    bench_run.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="history file to append the stamped record to",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=3, help="wall-clock best-of repeats"
+    )
+    bench_run.add_argument(
+        "--horizon", type=int, default=200, help="rounds per smoke run"
+    )
+    bench_run.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
+    bench_compare = bench_verbs.add_parser(
+        "compare", help="gate a candidate history against a baseline"
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_history.jsonl")
+    bench_compare.add_argument(
+        "candidate", help="candidate BENCH_history.jsonl"
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative tolerance floor for noisy (non-exact) metrics",
+    )
+    bench_compare.add_argument(
+        "--bench", default=None, help="only compare records of this bench"
+    )
+    bench_compare.add_argument(
+        "--quiet", action="store_true", help=argparse.SUPPRESS
+    )
+
+    bench_report = bench_verbs.add_parser(
+        "report", help="render the history as a static HTML trend page"
+    )
+    bench_report.add_argument("history", help="BENCH_history.jsonl to render")
+    bench_report.add_argument(
+        "--out", default="bench_report.html", help="output HTML file"
+    )
+    bench_report.add_argument(
+        "--quiet", action="store_true", help=argparse.SUPPRESS
+    )
+
 
 def run_obs(args: argparse.Namespace, console: Optional[Console] = None) -> int:
     """Execute one ``fasea obs`` verb; returns the process exit code."""
+    from repro.exceptions import SchemaError
+
     console = console or Console(quiet=bool(getattr(args, "quiet", False)))
     try:
         if args.obs_command == "summary":
@@ -261,7 +366,13 @@ def run_obs(args: argparse.Namespace, console: Optional[Console] = None) -> int:
             return _trace(args, console)
         if args.obs_command == "diff":
             return _diff(args, console)
-    except ConfigurationError as error:
+        if args.obs_command == "tail":
+            return _tail(args, console)
+        if args.obs_command == "profile":
+            return _profile(args, console)
+        if args.obs_command == "bench":
+            return _bench(args, console)
+    except (ConfigurationError, SchemaError) as error:
         console.error(f"fasea obs: {error}")
         return 2
     console.error(f"fasea obs: unknown verb {args.obs_command!r}")
@@ -313,3 +424,96 @@ def _diff(args: argparse.Namespace, console: Console) -> int:
         console.data(line)
     console.warn(f"{len(lines)} metric(s) drifted")
     return 1
+
+
+def _tail(args: argparse.Namespace, console: Console) -> int:
+    from repro.obs.stream import run_tail
+
+    max_updates = 1 if args.once else args.max_updates
+    return run_tail(
+        args.target, console, interval=args.interval, max_updates=max_updates
+    )
+
+
+def _profile(args: argparse.Namespace, console: Console) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.obs.profile import load_profile
+
+    profile = load_profile(args.target)
+    if args.folded:
+        for line in profile.folded_lines():
+            console.data(line)
+        return 0
+    rows = profile.table_rows()
+    total = len(rows)
+    if args.limit is not None and total > args.limit:
+        rows = rows[: args.limit]
+    console.info(
+        f"profile: {args.target} ({total} stack(s), "
+        f"{profile.total_ns / 1e6:.3f}ms sampled self time)"
+    )
+    if not rows:
+        console.result("(empty profile)")
+        return 0
+    console.result(
+        format_table(["stack", "calls", "cum_ms", "self_ms", "self_%"], rows)
+    )
+    if total > len(rows):
+        console.info(f"... {total - len(rows)} colder stack(s) hidden ...")
+    return 0
+
+
+def _bench(args: argparse.Namespace, console: Console) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.obs.bench import (
+        append_history,
+        compare_histories,
+        comparison_table_rows,
+        has_regression,
+        load_history,
+        run_smoke_benchmark,
+        write_html_report,
+    )
+
+    if args.bench_command == "run":
+        record = run_smoke_benchmark(
+            repeats=args.repeats, horizon=args.horizon
+        )
+        path = append_history([record], args.history)
+        rows = [
+            [name, f"{value:.6g}", record["directions"][name]]
+            for name, value in sorted(record["metrics"].items())
+        ]
+        console.result(format_table(["metric", "value", "direction"], rows))
+        console.info(
+            f"recorded bench 'smoke' (git {record['git_rev']}) into {path}"
+        )
+        return 0
+    if args.bench_command == "compare":
+        baseline = load_history(args.baseline, bench=args.bench)
+        candidate = load_history(args.candidate, bench=args.bench)
+        rows = compare_histories(
+            baseline, candidate, threshold=args.threshold
+        )
+        console.result(
+            format_table(
+                ["bench", "metric", "dir", "baseline", "candidate", "delta",
+                 "status"],
+                comparison_table_rows(rows),
+            )
+        )
+        regressions = [row for row in rows if row.status == "regression"]
+        if has_regression(rows):
+            console.error(
+                f"{len(regressions)} metric(s) regressed vs {args.baseline}"
+            )
+            return 1
+        console.info("no regressions")
+        return 0
+    if args.bench_command == "report":
+        records = load_history(args.history)
+        path = write_html_report(records, args.out)
+        console.info(f"bench report ({len(records)} record(s)) in {path}")
+        return 0
+    console.error(f"fasea obs bench: unknown verb {args.bench_command!r}")
+    return 2

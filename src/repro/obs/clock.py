@@ -1,0 +1,33 @@
+"""Sanctioned clock access for the ``repro`` tree.
+
+Durations must come from the monotonic clock family
+(:func:`time.perf_counter` / :func:`time.perf_counter_ns`): the wall
+clock can jump backwards under NTP slew and freezes determinism-hostile
+state into timing paths.  fasealint rule **FAS010** enforces this by
+flagging every ``time.time()`` / ``datetime.now()`` call under ``src/``.
+
+Some call sites genuinely need a *wall* timestamp — cross-process trace
+ordering, ``created_at`` columns, queue-latency measurement across
+process boundaries (``perf_counter`` origins are per-process).  Those
+sites call :func:`wall_time` from this module, which is the one place
+allowed to touch :func:`time.time`; the intent is then explicit and
+grep-able, and FAS010 exempts only this module.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic duration clocks, re-exported so call sites can import the
+#: whole clock vocabulary from one module.
+monotonic = time.perf_counter
+monotonic_ns = time.perf_counter_ns
+
+
+def wall_time() -> float:
+    """Seconds since the epoch (the *wall* clock, may jump).
+
+    Use only where a timestamp must be comparable across processes or
+    sessions — never for measuring durations (FAS010 enforces this).
+    """
+    return time.time()

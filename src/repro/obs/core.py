@@ -45,9 +45,13 @@ from typing import (
     Union,
 )
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.obs.clock import wall_time
 
 Number = Union[int, float]
+
+#: Major schema version of the ``metrics.json`` snapshot document.
+SNAPSHOT_SCHEMA_VERSION = 1
 
 #: Default histogram buckets for unit-less values (counts, ratios).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -293,7 +297,7 @@ class MetricsSnapshot:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready dict (schema version 1)."""
         return {
-            "version": 1,
+            "version": SNAPSHOT_SCHEMA_VERSION,
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "histograms": dict(sorted(self.histograms.items())),
@@ -303,7 +307,26 @@ class MetricsSnapshot:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "MetricsSnapshot":
-        """Inverse of :meth:`to_dict` (tolerates missing sections)."""
+        """Inverse of :meth:`to_dict` (tolerates missing sections).
+
+        Rejects documents whose major schema version this library does
+        not understand with a clear :class:`repro.exceptions.SchemaError`
+        rather than failing on a missing key deep inside the loader.  A
+        missing ``version`` is tolerated (hand-built test payloads).
+        """
+        version = payload.get("version", SNAPSHOT_SCHEMA_VERSION)
+        try:
+            major = int(version)
+        except (TypeError, ValueError) as error:
+            raise SchemaError(
+                f"metrics snapshot version {version!r} is not an integer"
+            ) from error
+        if major != SNAPSHOT_SCHEMA_VERSION:
+            raise SchemaError(
+                f"metrics snapshot schema version {major} is not supported "
+                f"(this library reads version {SNAPSHOT_SCHEMA_VERSION}); "
+                "re-record the run or upgrade the library"
+            )
         return cls(
             counters=dict(payload.get("counters", {})),
             gauges=dict(payload.get("gauges", {})),
@@ -380,7 +403,7 @@ class _SpanContext:
             "parent_id": self._parent_id,
             "start_ns": self._start_ns,
             "duration_ns": duration_ns,
-            "wall": time.time(),
+            "wall": wall_time(),
         }
         if self._attrs:
             record["attrs"] = self._attrs
@@ -408,6 +431,15 @@ class Instrumentation:
         self._trace: List[Dict[str, Any]] = []
         self._span_stack: List[int] = []
         self._span_serial = 0
+        # Ambient run-observatory configuration.  The CLI sets these so
+        # ``--profile`` / ``--stream`` reach every runner an experiment
+        # calls without threading new parameters through the whole
+        # experiments package; runners fall back to them when their own
+        # ``profile`` / ``stream`` arguments are None (see
+        # ``repro.simulation.runner``).  Typed loosely to avoid a
+        # circular import with ``repro.obs.profile`` / ``.stream``.
+        self.profile_config: Optional[Any] = None
+        self.stream_sink: Optional[Any] = None
 
     # -- metric accessors ---------------------------------------------
     def _get(self, name: str, cls: type, *args: object) -> Any:
@@ -455,7 +487,7 @@ class Instrumentation:
             "kind": "event",
             "name": name,
             "ts_ns": time.perf_counter_ns(),
-            "wall": time.time(),
+            "wall": wall_time(),
         }
         if self._span_stack:
             record["span_id"] = self._span_stack[-1]
@@ -466,6 +498,19 @@ class Instrumentation:
     def trace_records(self) -> List[Dict[str, Any]]:
         """The accumulated trace (events + completed spans), in order."""
         return list(self._trace)
+
+    def trace_length(self) -> int:
+        """Number of completed trace records (streaming cursor support)."""
+        return len(self._trace)
+
+    def trace_records_since(self, start: int) -> List[Dict[str, Any]]:
+        """Records appended at index >= ``start`` (streaming sink slice).
+
+        Completed records are immutable once appended, so a sink can
+        remember ``trace_length()`` after each flush and fetch only the
+        delta — O(new records), not O(whole trace), per flush.
+        """
+        return list(self._trace[start:])
 
     # -- snapshots -----------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
@@ -510,8 +555,29 @@ class Instrumentation:
                 series.append(int(step), value)
 
     def merge_trace(self, records: Sequence[Dict[str, Any]]) -> None:
-        """Append externally produced trace records (e.g. from workers)."""
-        self._trace.extend(dict(record) for record in records)
+        """Append externally produced trace records (e.g. from workers).
+
+        Incoming ``span_id``/``parent_id`` values are remapped past this
+        registry's own serial so merged traces keep globally unique span
+        identities — the profiler (:mod:`repro.obs.profile`) rebuilds
+        stacks from those ids, and worker registries all start counting
+        at 1.  The remap is a fixed offset, so calling ``merge_trace``
+        in submission order keeps merged traces deterministic.
+        """
+        records = [dict(record) for record in records]
+        max_incoming = 0
+        for record in records:
+            span_id = record.get("span_id")
+            if isinstance(span_id, int) and span_id > max_incoming:
+                max_incoming = span_id
+        offset = self._span_serial
+        for record in records:
+            for key in ("span_id", "parent_id"):
+                value = record.get(key)
+                if isinstance(value, int):
+                    record[key] = value + offset
+            self._trace.append(record)
+        self._span_serial += max_incoming
 
 
 def _histogram_payload(histogram: Histogram) -> Dict[str, Any]:
@@ -619,6 +685,12 @@ class NullInstrumentation:
         return None
 
     def trace_records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def trace_length(self) -> int:
+        return 0
+
+    def trace_records_since(self, start: int) -> List[Dict[str, Any]]:
         return []
 
     def snapshot(self) -> MetricsSnapshot:

@@ -5,34 +5,98 @@ produces — plain dicts with a ``kind`` discriminator (``"span"`` or
 ``"event"``) — so reading a trace back yields the original records and
 ``fasea obs trace`` can re-render the span hierarchy from
 ``span_id``/``parent_id`` alone.
+
+Two write modes exist:
+
+* :func:`write_trace_jsonl` rewrites the whole file (optionally via a
+  temp file + ``os.replace`` so a crash never leaves a torn file);
+* :func:`append_trace_jsonl` appends records to an existing trace —
+  the streaming sink's incremental mode.  Appending is what makes a
+  killed run recoverable: every line already flushed is a complete
+  JSON document, and :func:`read_trace_jsonl` with ``strict=False``
+  parses the longest valid prefix, dropping at most the final
+  partially-written line.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
 
 TraceRecord = Dict[str, Any]
 
 
+def _dump_records(records: Sequence[TraceRecord], handle: IO[str]) -> None:
+    for record in records:
+        handle.write(json.dumps(record, sort_keys=True))
+        handle.write("\n")
+
+
 def write_trace_jsonl(
-    records: Sequence[TraceRecord], path: Union[str, Path]
+    records: Sequence[TraceRecord],
+    path: Union[str, Path],
+    atomic: bool = False,
 ) -> Path:
-    """Write trace ``records`` to ``path`` as JSON lines; returns the path."""
+    """Write trace ``records`` to ``path`` as JSON lines; returns the path.
+
+    With ``atomic=True`` the file is written next to the target and
+    renamed over it in one ``os.replace`` step (after an ``fsync``), so
+    concurrent readers and crashes never observe a torn file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, sort_keys=True))
-            handle.write("\n")
+    if not atomic:
+        with path.open("w", encoding="utf-8") as handle:
+            _dump_records(records, handle)
+        return path
+    tmp_path = path.parent / f".{path.name}.tmp"
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        _dump_records(records, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
     return path
 
 
-def read_trace_jsonl(path: Union[str, Path]) -> List[TraceRecord]:
-    """Read a JSONL trace back into a list of record dicts."""
+def append_trace_jsonl(
+    records: Sequence[TraceRecord],
+    path: Union[str, Path],
+    fsync: bool = False,
+) -> Path:
+    """Append ``records`` to the JSONL trace at ``path`` (streaming mode).
+
+    Each record is one complete line, so any prefix of the file remains
+    parseable with ``read_trace_jsonl(..., strict=False)`` even if the
+    process is killed mid-append.  ``fsync=True`` additionally forces
+    the appended bytes to disk before returning (the streaming sink
+    does this periodically, not per call — see
+    :class:`repro.obs.stream.StreamingSink`).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        _dump_records(records, handle)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    return path
+
+
+def read_trace_jsonl(
+    path: Union[str, Path], strict: bool = True
+) -> List[TraceRecord]:
+    """Read a JSONL trace back into a list of record dicts.
+
+    ``strict=True`` (default) raises on any malformed line.
+    ``strict=False`` returns the longest valid prefix instead: parsing
+    stops silently at the first undecodable or non-object line, which
+    is exactly the recovery mode for a trace whose writer was killed
+    mid-line (SIGKILL, OOM, power loss).
+    """
     path = Path(path)
     records: List[TraceRecord] = []
     for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
@@ -42,10 +106,14 @@ def read_trace_jsonl(path: Union[str, Path]) -> List[TraceRecord]:
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
+            if not strict:
+                break
             raise ConfigurationError(
                 f"{path}:{lineno}: invalid trace line: {error}"
             ) from error
         if not isinstance(record, dict):
+            if not strict:
+                break
             raise ConfigurationError(
                 f"{path}:{lineno}: trace line is not an object"
             )

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.exceptions import ConfigurationError
+from repro.obs.clock import wall_time
 from repro.obs.core import Instrumentation, MetricsSnapshot, current, use
 
 T = TypeVar("T")
@@ -44,12 +45,13 @@ def _run_unit_instrumented(
     merges those snapshots **in submission order**, so the aggregate is
     deterministic and independent of worker scheduling.
 
-    Queue latency is measured with wall-clock time (``time.time``):
-    ``perf_counter`` origins are not comparable across processes.
+    Queue latency is measured with the wall clock
+    (:func:`repro.obs.clock.wall_time`): ``perf_counter`` origins are
+    not comparable across processes.
     """
     fn, unit, index, submitted_at = payload
     worker_obs = Instrumentation()
-    queue_latency = max(0.0, time.time() - submitted_at)
+    queue_latency = max(0.0, wall_time() - submitted_at)
     with use(worker_obs):
         start = time.perf_counter()
         result = fn(unit)
@@ -158,7 +160,7 @@ def _run_pool_instrumented(
     with obs.span("run_work_units", jobs=workers, units=len(units)):
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_unit_instrumented, (fn, unit, index, time.time()))
+                pool.submit(_run_unit_instrumented, (fn, unit, index, wall_time()))
                 for index, unit in enumerate(units)
             ]
             for index, future in enumerate(futures):

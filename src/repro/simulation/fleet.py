@@ -27,6 +27,8 @@ from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
 from repro.metrics.kendall import kendall_tau
 from repro.obs.core import InstrumentationLike, current
+from repro.obs.profile import ProfileConfig
+from repro.obs.stream import StreamingSink
 from repro.simulation.history import History, default_checkpoints
 from repro.simulation.runner import record_policy_round
 
@@ -40,6 +42,8 @@ def run_policy_fleet(
     kendall_checkpoints: Optional[Sequence[int]] = None,
     eval_contexts: Optional[np.ndarray] = None,
     obs: Optional[InstrumentationLike] = None,
+    profile: Optional[ProfileConfig] = None,
+    stream: Optional[StreamingSink] = None,
 ) -> Dict[str, History]:
     """Play every policy on one shared stream; return histories by name.
 
@@ -49,12 +53,24 @@ def run_policy_fleet(
     defaults to :func:`repro.obs.core.current`): metrics appear as
     ``policy.<key>.*`` so two TS instances with different widths stay
     distinguishable.
+
+    ``profile`` enables the deterministic round-sampling profiler: on
+    sampled rounds every policy's step runs inside a ``step:<key>``
+    span (nested under the round's ``round`` span), so folded stacks
+    attribute self time per policy.  ``stream`` is offered one flush
+    opportunity per round.  Both observe only — arrangements and
+    rewards are bit-identical with them on or off.
     """
     if not policies:
         raise ConfigurationError("need at least one policy")
     horizon = horizon if horizon is not None else world.config.horizon
     obs = obs if obs is not None else current()
     instrumented = obs.enabled
+    if profile is None:
+        profile = getattr(obs, "profile_config", None)
+    if stream is None:
+        stream = getattr(obs, "stream_sink", None)
+    profiling = instrumented and profile is not None
     if instrumented:
         for name, policy in policies.items():
             policy.bind_obs(obs, label=name)
@@ -87,6 +103,53 @@ def run_policy_fleet(
         true_scores = world.expected_rewards(eval_contexts)
 
     num_events = len(world.capacities)
+
+    def _step(name: str, policy: Policy, t: int, user, contexts, accepts) -> None:
+        """One policy's reveal-select-commit-observe against round ``t``."""
+        platform = platforms[name]
+        view = RoundView(
+            time_step=t,
+            user=user,
+            contexts=contexts,
+            remaining_capacities=platform.store.remaining_capacities,
+            conflicts=platform.conflicts,
+        )
+        if instrumented:
+            select_start = time.perf_counter()
+        arrangement = policy.select(view)
+        if instrumented:
+            select_end = time.perf_counter()
+        # Arrangements hold <= c_u events: scalar lookups beat
+        # fancy-indexing round trips at that size.
+        accepted_flags = [bool(accepts[event_id]) for event_id in arrangement]
+        decisions = dict(zip(arrangement, accepted_flags))
+        entry = platform.commit(
+            user, arrangement, feedback=decisions.__getitem__
+        )
+        if instrumented:
+            observe_start = time.perf_counter()
+        policy.observe(
+            view, arrangement, [1.0 if flag else 0.0 for flag in accepted_flags]
+        )
+        if instrumented:
+            observe_end = time.perf_counter()
+            record_policy_round(
+                obs,
+                policy,
+                world.theta,
+                platform.store,
+                entry,
+                t,
+                select_end - select_start,
+                observe_end - observe_start,
+            )
+        rewards[name][t - 1] = entry.reward
+        arranged_counts[name][t - 1] = len(arrangement)
+        if t in checkpoint_set and true_scores is not None:
+            taus[name].append(
+                kendall_tau(policy.ranking_scores(eval_contexts, t), true_scores)
+            )
+
     with obs.span(
         "run_policy_fleet",
         policies=list(policies),
@@ -99,52 +162,18 @@ def run_policy_fleet(
             thresholds = feedback_rng.uniform(size=num_events)
             probabilities = world.accept_probabilities(contexts)
             accepts = thresholds < probabilities
-            for name, policy in policies.items():
-                platform = platforms[name]
-                view = RoundView(
-                    time_step=t,
-                    user=user,
-                    contexts=contexts,
-                    remaining_capacities=platform.store.remaining_capacities,
-                    conflicts=platform.conflicts,
-                )
-                if instrumented:
-                    select_start = time.perf_counter()
-                arrangement = policy.select(view)
-                if instrumented:
-                    select_end = time.perf_counter()
-                # Arrangements hold <= c_u events: scalar lookups beat
-                # fancy-indexing round trips at that size.
-                accepted_flags = [bool(accepts[event_id]) for event_id in arrangement]
-                decisions = dict(zip(arrangement, accepted_flags))
-                entry = platform.commit(
-                    user, arrangement, feedback=decisions.__getitem__
-                )
-                if instrumented:
-                    observe_start = time.perf_counter()
-                policy.observe(
-                    view, arrangement, [1.0 if flag else 0.0 for flag in accepted_flags]
-                )
-                if instrumented:
-                    observe_end = time.perf_counter()
-                    record_policy_round(
-                        obs,
-                        policy,
-                        world.theta,
-                        platform.store,
-                        entry,
-                        t,
-                        select_end - select_start,
-                        observe_end - observe_start,
-                    )
-                rewards[name][t - 1] = entry.reward
-                arranged_counts[name][t - 1] = len(arrangement)
-                if t in checkpoint_set and true_scores is not None:
-                    taus[name].append(
-                        kendall_tau(
-                            policy.ranking_scores(eval_contexts, t), true_scores
-                        )
-                    )
+            if profiling and profile.samples(t):
+                # Sampled round: per-policy steps run inside spans so
+                # folded stacks attribute self time to each policy.
+                with obs.span("round", t=t):
+                    for name, policy in policies.items():
+                        with obs.span(f"step:{name}"):
+                            _step(name, policy, t, user, contexts, accepts)
+            else:
+                for name, policy in policies.items():
+                    _step(name, policy, t, user, contexts, accepts)
+            if instrumented and stream is not None:
+                stream.maybe_flush(1)
 
     histories: Dict[str, History] = {}
     for name in policies:

@@ -5,6 +5,15 @@ Algorithms 1/3/4): reveal, select, commit, observe — for ``horizon``
 rounds, timing each round and optionally recording the Kendall rank
 correlation of the policy's event ranking against the truth at the
 paper's checkpoints (Figure 2).
+
+With a :class:`~repro.obs.profile.ProfileConfig` the runner opens a
+``round`` span (with nested ``select``/``commit``/``observe`` phase
+spans) on every ``sample_every``-th round — the deterministic sampling
+grid of the span profiler.  With a
+:class:`~repro.obs.stream.StreamingSink` it additionally offers the
+sink a flush opportunity after each round, so a killed run leaves
+telemetry on disk.  Neither feature touches an RNG stream; results are
+bit-identical with them on or off.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ from repro.ebsn.events import EventStore
 from repro.ebsn.ledger import LedgerEntry
 from repro.metrics.kendall import kendall_tau
 from repro.obs.core import InstrumentationLike, current
+from repro.obs.profile import ProfileConfig
+from repro.obs.stream import StreamingSink
 from repro.simulation.environment import FaseaEnvironment
 from repro.simulation.history import History, default_checkpoints
 
@@ -72,6 +83,8 @@ def run_policy(
     kendall_checkpoints: Optional[Sequence[int]] = None,
     eval_contexts: Optional[np.ndarray] = None,
     obs: Optional[InstrumentationLike] = None,
+    profile: Optional[ProfileConfig] = None,
+    stream: Optional[StreamingSink] = None,
 ) -> History:
     """Play ``policy`` for ``horizon`` rounds and return its history.
 
@@ -101,10 +114,24 @@ def run_policy(
         per-round theta-drift, select/observe timings, oracle telemetry
         and capacity-exhaustion events — none of which touch the RNG
         streams, so results are bit-identical either way.
+    profile:
+        Round-sampling profiler configuration.  On sampled rounds the
+        runner opens a ``round`` span with nested ``select`` /
+        ``commit`` / ``observe`` phase spans; requires an enabled
+        ``obs`` to have any effect.
+    stream:
+        Streaming telemetry sink; offered one ``maybe_flush`` per
+        round (only when instrumented) so long runs publish durable
+        ``metrics.json`` / ``trace.jsonl`` incrementally.
     """
     horizon = horizon if horizon is not None else world.config.horizon
     obs = obs if obs is not None else current()
     instrumented = obs.enabled
+    if profile is None:
+        profile = getattr(obs, "profile_config", None)
+    if stream is None:
+        stream = getattr(obs, "stream_sink", None)
+    profiling = instrumented and profile is not None
     if instrumented:
         policy.bind_obs(obs)
     env = FaseaEnvironment(world, run_seed=run_seed, obs=obs)
@@ -131,14 +158,31 @@ def run_policy(
     elapsed = 0.0
     with obs.span("run_policy", policy=policy.name, horizon=horizon, run_seed=run_seed):
         for t in range(1, horizon + 1):
-            view = env.begin_round()
-            start = time.perf_counter()
-            arrangement = policy.select(view)
-            mid = time.perf_counter()
-            round_rewards, entry = env.commit(arrangement)
-            resumed = time.perf_counter()
-            policy.observe(view, arrangement, round_rewards)
-            done = time.perf_counter()
+            if profiling and profile.samples(t):
+                # Sampled round: same work, wrapped in profiler spans.
+                # The grid is round-indexed (t % sample_every == 0), so
+                # two runs of one seed sample identical stacks.
+                with obs.span("round", t=t):
+                    view = env.begin_round()
+                    start = time.perf_counter()
+                    with obs.span("select"):
+                        arrangement = policy.select(view)
+                    mid = time.perf_counter()
+                    with obs.span("commit"):
+                        round_rewards, entry = env.commit(arrangement)
+                    resumed = time.perf_counter()
+                    with obs.span("observe"):
+                        policy.observe(view, arrangement, round_rewards)
+                    done = time.perf_counter()
+            else:
+                view = env.begin_round()
+                start = time.perf_counter()
+                arrangement = policy.select(view)
+                mid = time.perf_counter()
+                round_rewards, entry = env.commit(arrangement)
+                resumed = time.perf_counter()
+                policy.observe(view, arrangement, round_rewards)
+                done = time.perf_counter()
             elapsed += (mid - start) + (done - resumed)
             rewards[t - 1] = sum(round_rewards)
             arranged_counts[t - 1] = len(arrangement)
@@ -153,6 +197,8 @@ def run_policy(
                     mid - start,
                     done - resumed,
                 )
+                if stream is not None:
+                    stream.maybe_flush(1)
             if t in checkpoint_set and true_ranking_scores is not None:
                 estimated = policy.ranking_scores(eval_contexts, t)
                 steps.append(t)

@@ -1,0 +1,37 @@
+"""FAS010 fixture: wall-clock reads in library timing paths.
+
+Durations must come from ``repro.obs.clock.monotonic``; artefact
+timestamps from ``repro.obs.clock.wall_time`` (the one sanctioned
+``time.time`` site).
+"""
+
+import datetime as dt
+import time
+from datetime import datetime
+from time import time as now
+
+
+def stamp_run():
+    return time.time()  # -> FAS010
+
+
+def legacy_alias_stamp():
+    return now()  # -> FAS010
+
+
+def localized_stamp():
+    return datetime.now()  # -> FAS010
+
+
+def day_of_run():
+    return datetime.today()  # -> FAS010
+
+
+def utc_stamp():
+    return dt.datetime.utcnow()  # -> FAS010
+
+
+def round_duration():
+    start = time.perf_counter()  # monotonic: allowed
+    time.sleep(0)  # not a clock read: allowed
+    return time.perf_counter() - start

@@ -9,6 +9,7 @@ from repro.exceptions import (
     LedgerError,
     NotFittedError,
     ReproError,
+    SchemaError,
     UnknownEventError,
 )
 
@@ -18,6 +19,7 @@ ALL_ERRORS = [
     ConflictError,
     LedgerError,
     NotFittedError,
+    SchemaError,
     UnknownEventError,
 ]
 

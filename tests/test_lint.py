@@ -1,4 +1,4 @@
-"""Tests for the fasealint static-analysis subsystem (FAS001-FAS009).
+"""Tests for the fasealint static-analysis subsystem (FAS001-FAS010).
 
 Covers: per-rule firing on known-bad fixtures, the golden JSON report,
 pragma suppression at line/file granularity, select/ignore filtering,
@@ -40,6 +40,7 @@ ALL_RULES = (
     "FAS007",
     "FAS008",
     "FAS009",
+    "FAS010",
 )
 
 #: fixture file (relative to CASES) -> (rule id, expected hit count)
@@ -53,6 +54,7 @@ RULE_FIXTURES = {
     "src/repro/linalg/fas007_shapes.py": ("FAS007", 4),
     "src/fas008_assert.py": ("FAS008", 2),
     "src/repro/fas009_print.py": ("FAS009", 3),
+    "src/repro/fas010_wallclock.py": ("FAS010", 5),
 }
 
 
@@ -127,6 +129,30 @@ def test_fas008_scoping_is_limited_to_src(tmp_path):
     elsewhere = tmp_path / "fas008_assert.py"
     elsewhere.write_text(source)
     assert lint_file(elsewhere) == []
+
+
+def test_fas010_scoping_exempts_tests_and_the_clock_module(tmp_path):
+    source = (CASES / "src" / "repro" / "fas010_wallclock.py").read_text()
+    # Outside src/, wall-clock reads are fine (tests, scripts, benches).
+    elsewhere = tmp_path / "fas010_wallclock.py"
+    elsewhere.write_text(source)
+    assert all(v.rule_id != "FAS010" for v in lint_file(elsewhere))
+    # repro/obs/clock.py is the one sanctioned time.time site.
+    clock = tmp_path / "src" / "repro" / "obs" / "clock.py"
+    clock.parent.mkdir(parents=True)
+    clock.write_text("import time\n\n\ndef wall_time():\n    return time.time()\n")
+    assert lint_file(clock) == []
+
+
+def test_fas010_monotonic_clocks_are_not_flagged(tmp_path):
+    fine = tmp_path / "src" / "uses_monotonic.py"
+    fine.parent.mkdir()
+    fine.write_text(
+        "import time\n\n\ndef duration():\n"
+        "    start = time.perf_counter()\n"
+        "    return time.perf_counter() - start, time.monotonic()\n"
+    )
+    assert lint_file(fine) == []
 
 
 # ----------------------------------------------------------------------

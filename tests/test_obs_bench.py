@@ -1,0 +1,304 @@
+"""Perf-regression observatory: stamping, history IO, the compare gate.
+
+``fasea obs bench`` is the CI tripwire: ``run`` stamps a provenance
+record into ``BENCH_history.jsonl``, ``compare`` exits 1 when any
+metric regresses past ``max(threshold·|mean|, bootstrap-CI halfwidth)``
+(``exact`` metrics tolerate nothing — they *are* the determinism
+contract), and ``report`` renders a dependency-free HTML trend page.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    HISTORY_ENV_VAR,
+    append_history,
+    compare_histories,
+    comparison_table_rows,
+    direction_for,
+    git_revision,
+    has_regression,
+    load_history,
+    machine_fingerprint,
+    maybe_record_bench_metrics,
+    render_html_report,
+    run_smoke_benchmark,
+    stamp_record,
+    validate_record,
+    write_html_report,
+)
+
+SMOKE_KW = dict(repeats=1, horizon=60, num_events=8, dim=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return run_smoke_benchmark(**SMOKE_KW)
+
+
+# ----------------------------------------------------------------------
+# Directions + stamping
+# ----------------------------------------------------------------------
+def test_direction_for_suffixes_and_overrides():
+    assert direction_for("wall_seconds") == "lower"
+    assert direction_for("select_ns") == "lower"
+    assert direction_for("ucb_regret") == "lower"
+    assert direction_for("total_reward") == "higher"
+    assert direction_for("wall_seconds", {"wall_seconds": "exact"}) == "exact"
+    with pytest.raises(ConfigurationError, match="unknown direction"):
+        direction_for("x", {"x": "sideways"})
+
+
+def test_stamp_record_carries_provenance():
+    record = stamp_record("smoke", {"b_reward": 2.0, "a_seconds": 1.0})
+    assert record["version"] == BENCH_SCHEMA_VERSION
+    assert record["bench"] == "smoke"
+    assert record["recorded_at"] > 0
+    assert isinstance(record["git_rev"], str) and record["git_rev"]
+    fingerprint = machine_fingerprint()
+    assert record["machine"] == fingerprint
+    assert {"platform", "machine", "python", "cpu_count"} <= set(fingerprint)
+    # Metrics are sorted and direction-resolved at stamp time.
+    assert list(record["metrics"]) == ["a_seconds", "b_reward"]
+    assert record["directions"] == {"a_seconds": "lower", "b_reward": "higher"}
+    validate_record(record)
+
+
+def test_stamp_record_rejects_empty_inputs():
+    with pytest.raises(ConfigurationError, match="non-empty"):
+        stamp_record("", {"m": 1.0})
+    with pytest.raises(ConfigurationError, match="no metrics"):
+        stamp_record("smoke", {})
+
+
+def test_git_revision_falls_back_outside_a_repo(tmp_path):
+    assert git_revision(tmp_path) == "unknown"
+
+
+# ----------------------------------------------------------------------
+# History IO
+# ----------------------------------------------------------------------
+def test_history_roundtrip_and_bench_filter(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    first = stamp_record("smoke", {"m": 1.0})
+    second = stamp_record("other", {"m": 2.0})
+    append_history([first], path)
+    append_history([second], path)  # appends, never truncates
+    assert load_history(path) == [first, second]
+    assert load_history(path, bench="other") == [second]
+    assert load_history(path, bench="nope") == []
+
+
+def test_history_loader_rejects_bad_documents(tmp_path):
+    path = tmp_path / "h.jsonl"
+    with pytest.raises(ConfigurationError, match="no bench history"):
+        load_history(path)
+    path.write_text("not json\n")
+    with pytest.raises(ConfigurationError, match="invalid bench history"):
+        load_history(path)
+    path.write_text("[1]\n")
+    with pytest.raises(ConfigurationError, match="not an object"):
+        load_history(path)
+    path.write_text(json.dumps({"version": 99, "bench": "x", "metrics": {}}))
+    with pytest.raises(SchemaError, match="version 99"):
+        load_history(path)
+    path.write_text(json.dumps({"version": 1, "metrics": {}}))
+    with pytest.raises(SchemaError, match="no 'bench' name"):
+        load_history(path)
+
+
+# ----------------------------------------------------------------------
+# The compare gate
+# ----------------------------------------------------------------------
+def _record(metrics, directions=None, bench="smoke"):
+    return stamp_record(bench, metrics, directions)
+
+
+def test_identical_histories_compare_clean():
+    base = [_record({"reward": 10.0, "wall_seconds": 0.5})]
+    rows = compare_histories(base, base)
+    assert {row.status for row in rows} == {"ok"}
+    assert not has_regression(rows)
+
+
+def test_exact_metrics_tolerate_no_drift_at_all():
+    directions = {"reward": "exact"}
+    base = [_record({"reward": 10.0}, directions)]
+    drifted = [_record({"reward": 10.0 + 1e-12}, directions)]
+    rows = compare_histories(base, drifted)
+    assert rows[0].status == "regression"
+    assert has_regression(rows)
+    # ... in either direction: "better" drift is still a broken contract.
+    rows = compare_histories(base, [_record({"reward": 11.0}, directions)])
+    assert rows[0].status == "regression"
+
+
+def test_noisy_metrics_gate_on_threshold_and_direction():
+    base = [_record({"reward": 100.0, "wall_seconds": 1.0})]
+    # -10% reward: regression (higher-is-better).
+    rows = compare_histories(base, [_record({"reward": 90.0, "wall_seconds": 1.0})])
+    by_metric = {row.metric: row for row in rows}
+    assert by_metric["reward"].status == "regression"
+    assert by_metric["reward"].delta == -10.0
+    # +10% wall time: regression (lower-is-better) ...
+    rows = compare_histories(base, [_record({"reward": 100.0, "wall_seconds": 1.1})])
+    assert {r.metric: r.status for r in rows}["wall_seconds"] == "regression"
+    # ... while -10% wall time is an improvement, and ±4% is inside the gate.
+    rows = compare_histories(base, [_record({"reward": 100.0, "wall_seconds": 0.9})])
+    assert {r.metric: r.status for r in rows}["wall_seconds"] == "improvement"
+    rows = compare_histories(base, [_record({"reward": 96.5, "wall_seconds": 1.04})])
+    assert {row.status for row in rows} == {"ok"}
+
+
+def test_wide_baselines_earn_wide_gates():
+    # Baseline spread >> 5% of the mean: the bootstrap-CI halfwidth
+    # takes over, so a delta that the relative floor would flag passes.
+    base = [_record({"reward": value}) for value in (80.0, 100.0, 120.0)]
+    candidate = [_record({"reward": 92.0})]
+    rows = compare_histories(base, candidate, threshold=0.05)
+    assert rows[0].status == "ok"
+
+
+def test_new_and_missing_metrics_are_informational():
+    base = [_record({"old": 1.0, "both": 2.0})]
+    candidate = [_record({"new": 3.0, "both": 2.0})]
+    rows = compare_histories(base, candidate)
+    statuses = {row.metric: row.status for row in rows}
+    assert statuses == {"old": "missing", "new": "new", "both": "ok"}
+    assert not has_regression(rows)
+    table = comparison_table_rows(rows)
+    flat = {row[1]: row for row in table}
+    assert flat["old"][4] == "-"  # NaN candidate renders as "-"
+    assert flat["new"][3] == "-"  # NaN baseline renders as "-"
+
+
+def test_compare_rejects_negative_threshold():
+    with pytest.raises(ConfigurationError, match="threshold"):
+        compare_histories([], [], threshold=-0.1)
+
+
+# ----------------------------------------------------------------------
+# The smoke suite is the determinism contract
+# ----------------------------------------------------------------------
+def test_smoke_benchmark_is_bit_deterministic(smoke_record):
+    again = run_smoke_benchmark(**SMOKE_KW)
+    exact = {
+        name
+        for name, direction in smoke_record["directions"].items()
+        if direction == "exact"
+    }
+    assert exact  # reward/ratio/regret metrics are stamped exact
+    for name in exact:
+        assert again["metrics"][name] == smoke_record["metrics"][name]
+    assert smoke_record["directions"]["wall_seconds"] == "lower"
+    rows = compare_histories([smoke_record], [again])
+    assert not has_regression(rows)
+
+
+def test_smoke_benchmark_validates_repeats():
+    with pytest.raises(ConfigurationError, match="repeats"):
+        run_smoke_benchmark(repeats=0)
+
+
+# ----------------------------------------------------------------------
+# HTML report
+# ----------------------------------------------------------------------
+def test_html_report_renders_sparklines_and_escapes(tmp_path, smoke_record):
+    records = [smoke_record, run_smoke_benchmark(**SMOKE_KW)]
+    hostile = stamp_record("<script>alert(1)</script>", {"m": 1.0})
+    html = render_html_report(records + [hostile])
+    assert "<svg" in html and "polyline" in html
+    assert "<script>alert(1)</script>" not in html  # escaped
+    assert "&lt;script&gt;" in html
+    path = write_html_report(records, tmp_path / "sub" / "report.html")
+    assert path.is_file() and path.read_text().startswith("<!DOCTYPE html>")
+
+
+# ----------------------------------------------------------------------
+# Ambient stamping hook (benchmarks/conftest.py)
+# ----------------------------------------------------------------------
+def test_maybe_record_is_a_noop_without_the_env_var(tmp_path, monkeypatch):
+    monkeypatch.delenv(HISTORY_ENV_VAR, raising=False)
+    assert maybe_record_bench_metrics("suite", {"m": 1.0}) is None
+    assert not list(tmp_path.iterdir())
+
+
+def test_maybe_record_appends_when_the_env_var_is_set(tmp_path, monkeypatch):
+    path = tmp_path / "hist.jsonl"
+    monkeypatch.setenv(HISTORY_ENV_VAR, str(path))
+    written = maybe_record_bench_metrics("suite", {"m": 1.0}, {"m": "exact"})
+    assert written == path
+    records = load_history(path, bench="suite")
+    assert len(records) == 1
+    assert records[0]["directions"] == {"m": "exact"}
+
+
+# ----------------------------------------------------------------------
+# CLI: run / compare / report
+# ----------------------------------------------------------------------
+def test_cli_bench_run_compare_report_end_to_end(tmp_path, capsys):
+    history = tmp_path / "BENCH_history.jsonl"
+    code = cli_main(
+        [
+            "obs",
+            "bench",
+            "run",
+            "--history",
+            str(history),
+            "--repeats",
+            "1",
+            "--horizon",
+            "60",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ucb_total_reward" in out
+    assert history.is_file()
+
+    # Same-baseline re-run: the gate passes (exit 0) — determinism.
+    assert (
+        cli_main(["obs", "bench", "compare", str(history), str(history)]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "ok" in out and "regression" not in out
+
+    # Injected regression on an exact metric: the gate trips (exit 1).
+    record = load_history(history)[0]
+    broken = json.loads(json.dumps(record))
+    broken["metrics"]["ucb_total_reward"] -= 5.0
+    bad_history = tmp_path / "candidate.jsonl"
+    append_history([broken], bad_history)
+    code = cli_main(["obs", "bench", "compare", str(history), str(bad_history)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "regression" in captured.out
+    assert "regressed" in captured.err  # the error summary names the gate
+
+    report = tmp_path / "report.html"
+    assert (
+        cli_main(
+            ["obs", "bench", "report", str(history), "--out", str(report)]
+        )
+        == 0
+    )
+    assert report.is_file()
+    capsys.readouterr()
+
+
+def test_cli_bench_compare_missing_history_is_usage_error(tmp_path, capsys):
+    code = cli_main(
+        [
+            "obs",
+            "bench",
+            "compare",
+            str(tmp_path / "none.jsonl"),
+            str(tmp_path / "none.jsonl"),
+        ]
+    )
+    assert code == 2
+    assert "no bench history" in capsys.readouterr().err

@@ -193,6 +193,28 @@ def test_cli_summary_json_and_prometheus(run_dir, capsys):
     assert "# TYPE fasea_" in capsys.readouterr().out
 
 
+def test_cli_summary_json_key_order_is_stable(run_dir, capsys):
+    # The JSON document is a diffable artefact: section order is fixed
+    # by the schema and every section's keys are sorted, so re-emitting
+    # the same snapshot yields byte-identical output.
+    assert cli_main(["obs", "summary", "--format", "json", str(run_dir)]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["obs", "summary", "--format", "json", str(run_dir)]) == 0
+    assert capsys.readouterr().out == first
+    payload = json.loads(first)
+    assert list(payload) == [
+        "counters",
+        "gauges",
+        "histograms",
+        "meta",
+        "series",
+        "version",
+    ]  # sort_keys=True at the serialiser: alphabetical, always
+    for section in ("counters", "gauges", "histograms", "series"):
+        keys = list(payload[section])
+        assert keys == sorted(keys)
+
+
 def test_cli_summary_quiet_still_emits_machine_formats(run_dir, capsys):
     assert (
         cli_main(["obs", "summary", "--quiet", "--format", "json", str(run_dir)]) == 0

@@ -128,6 +128,117 @@ def test_prometheus_text_of_empty_snapshot_is_empty():
     assert to_prometheus_text(Instrumentation().snapshot()) == ""
 
 
+def test_prometheus_name_escaping_edge_cases():
+    # Every character outside [a-zA-Z0-9_:] collapses to "_"; colons
+    # (the recording-rule namespace char) survive.
+    assert prometheus_name("a b/c-d") == "fasea_a_b_c_d"
+    assert prometheus_name("ns:rule") == "fasea_ns:rule"
+    assert prometheus_name("θ.drift") == "fasea___drift"
+    assert prometheus_name("policy.TS(ν=0.1).reward") == (
+        "fasea_policy_TS___0_1__reward"
+    )
+    # Sanitised names never start with a digit (after the namespace the
+    # raw name could; the exporter guards it anyway).
+    assert not prometheus_name("0").removeprefix("fasea_")[0].isdigit()
+
+
+def test_prometheus_bucket_labels_format_bounds_compactly():
+    obs = Instrumentation()
+    hist = obs.histogram("latency", buckets=(0.001, 0.25, 10.0))
+    hist.observe(0.0005)
+    text = to_prometheus_text(obs.snapshot())
+    assert 'fasea_latency_bucket{le="0.001"} 1' in text
+    assert 'fasea_latency_bucket{le="0.25"} 1' in text
+    assert 'fasea_latency_bucket{le="10"} 1' in text
+
+
+def test_prometheus_skips_empty_series_but_keeps_zero_counters():
+    obs = Instrumentation()
+    obs.counter("touched.never.incremented")
+    obs.series("empty.series")
+    text = to_prometheus_text(obs.snapshot())
+    assert "fasea_touched_never_incremented 0" in text
+    assert "empty_series" not in text
+
+
+# ----------------------------------------------------------------------
+# Snapshot merge algebra
+# ----------------------------------------------------------------------
+def _random_snapshot(seed):
+    """A deterministic pseudo-random snapshot exercising every family."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    obs = Instrumentation()
+    for i in range(int(rng.integers(1, 4))):
+        obs.counter(f"c{int(rng.integers(0, 3))}").inc(int(rng.integers(1, 9)))
+    obs.gauge(f"g{seed % 2}").set(float(rng.normal()))
+    hist = obs.histogram("h", buckets=(0.1, 1.0, 10.0))
+    for value in rng.uniform(0.0, 12.0, size=int(rng.integers(1, 6))):
+        hist.observe(float(value))
+    timer = obs.timer("t.select_seconds")
+    for value in rng.uniform(0.0, 0.2, size=int(rng.integers(1, 4))):
+        timer.observe(float(value))
+    series = obs.series("s.reward")
+    for step in range(int(rng.integers(1, 5))):
+        series.append(step, float(rng.normal()))
+    return obs.snapshot()
+
+
+def _merged(left, right):
+    merged = snapshot_from_json(snapshot_to_json(left))  # deep copy
+    merged.merge(right)
+    return merged
+
+
+def _assert_snapshots_equivalent(left, right):
+    """Exact equality everywhere except histogram ``sum``.
+
+    Bucket counts, counters, gauges, series and min/max are integers or
+    single writes and merge exactly; the float ``sum`` accumulates in
+    merge order, so associativity holds only up to the last ulp there.
+    """
+    import math
+
+    left_dict, right_dict = left.to_dict(), right.to_dict()
+    for section in ("counters", "gauges", "series", "meta"):
+        assert left_dict[section] == right_dict[section]
+    assert set(left_dict["histograms"]) == set(right_dict["histograms"])
+    for name, payload in left_dict["histograms"].items():
+        other = right_dict["histograms"][name]
+        for key in payload:
+            if key == "sum":
+                assert math.isclose(
+                    payload["sum"], other["sum"], rel_tol=1e-12, abs_tol=0.0
+                )
+            else:
+                assert payload[key] == other[key], (name, key)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23, 99])
+def test_snapshot_merge_is_associative(seed):
+    # merge(a, merge(b, c)) == merge(merge(a, b), c) for every family:
+    # counters add, histograms/timers bucket-add, series concatenate in
+    # order, gauges take the rightmost write.  This is the property that
+    # makes submission-order worker merging independent of --jobs.
+    a, b, c = (_random_snapshot(seed * 3 + k) for k in range(3))
+    left = _merged(_merged(a, b), c)
+    right = _merged(a, _merged(b, c))
+    _assert_snapshots_equivalent(left, right)
+
+
+def test_snapshot_merge_identity_and_histogram_bounds():
+    snapshot = _random_snapshot(5)
+    merged = _merged(snapshot, Instrumentation().snapshot())
+    assert merged.to_dict() == snapshot.to_dict()
+    doubled = _merged(snapshot, snapshot)
+    for name, payload in doubled.histograms.items():
+        base = snapshot.histograms[name]
+        assert payload["count"] == 2 * base["count"]
+        assert payload["min"] == base["min"]
+        assert payload["max"] == base["max"]
+
+
 # ----------------------------------------------------------------------
 # Console
 # ----------------------------------------------------------------------

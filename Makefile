@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-perf bench-obs bench-baseline bench-compare results claims replicate examples clean
+.PHONY: install test lint analyze analyze-baseline typecheck check bench bench-perf bench-obs bench-baseline bench-compare results claims replicate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,16 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint src benchmarks examples
 
+# Whole-program analyzer (FAS011-FAS014; see DESIGN.md §5.10).
+# Exit 1 only on findings not absorbed by devtools/analyze-baseline.json.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro analyze src
+
+# Refresh the committed analyzer baseline after an *intentional*
+# change (absorbs every current finding; review the diff).
+analyze-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro analyze src --update-baseline
+
 # Strict mypy on the typed public API (repro.linalg / parallel /
 # oracle / devtools). Skips gracefully where mypy is not installed
 # (pip install -e '.[dev]').
@@ -25,7 +35,7 @@ typecheck:
 		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
 	fi
 
-check: lint typecheck test
+check: lint analyze typecheck test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -173,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help=(
+            "whole-program determinism analysis (FAS011-FAS014: call-graph "
+            "rules, SARIF, baseline gating)"
+        ),
+    )
+    from repro.devtools.analyze.cli import add_analyze_arguments
+
+    add_analyze_arguments(analyze)
+
     obs = sub.add_parser(
         "obs",
         help="inspect run telemetry (metrics.json / trace.jsonl)",
@@ -373,6 +384,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _report(args)
     if args.command == "lint":
         return _lint(args)
+    if args.command == "analyze":
+        return _analyze(args)
     if args.command == "obs":
         return _obs(args)
     return 1
@@ -388,6 +401,12 @@ def _lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint.cli import run_lint
 
     return run_lint(args)
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analyze.cli import run_analyze
+
+    return run_analyze(args)
 
 
 def _report(args: argparse.Namespace) -> int:

@@ -1,0 +1,118 @@
+"""Baseline gating for the whole-program analyzer.
+
+CI must fail on *new* findings only: pre-existing ones live in a
+committed baseline file (``devtools/analyze-baseline.json``) and are
+subtracted from every run.  An entry is matched by **fingerprint** —
+a hash of ``(rule, path, message)`` with an occurrence count, never a
+line number — so unrelated edits that shift code around do not
+invalidate the baseline, while moving a file or changing what the
+finding *says* does.
+
+Baseline entries whose findings no longer occur are *expired*: they are
+reported so the file can be re-tightened (``fasea analyze
+--update-baseline`` rewrites it from the current findings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.devtools.lint.engine import Violation
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE = "devtools/analyze-baseline.json"
+
+
+def fingerprint(rule_id: str, path: str, message: str) -> str:
+    """Line-independent identity of one finding."""
+    digest = hashlib.sha256(
+        "\x1f".join((rule_id, path, message)).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+def _key(violation: Violation) -> Tuple[str, str, str]:
+    return (violation.rule_id, violation.path, violation.message)
+
+
+def collect(violations: Sequence[Violation]) -> List[Dict[str, object]]:
+    """Render current findings as baseline entries (sorted, counted)."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for violation in violations:
+        counts[_key(violation)] = counts.get(_key(violation), 0) + 1
+    entries = [
+        {
+            "fingerprint": fingerprint(rule_id, path, message),
+            "rule": rule_id,
+            "path": path,
+            "message": message,
+            "count": count,
+        }
+        for (rule_id, path, message), count in counts.items()
+    ]
+    entries.sort(key=lambda e: (e["rule"], e["path"], e["fingerprint"]))
+    return entries
+
+
+def write_baseline(path: "str | Path", violations: Sequence[Violation]) -> None:
+    """Write the committed baseline document for ``violations``."""
+    document = {"version": BASELINE_VERSION, "findings": collect(violations)}
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: "str | Path") -> List[Dict[str, object]]:
+    """Load baseline entries; a missing file is an empty baseline."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    document = json.loads(target.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError(f"{target}: not a fasea analyze baseline document")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{target}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return list(document["findings"])
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    entries: Sequence[Dict[str, object]],
+) -> Tuple[List[Violation], List[Violation], List[Dict[str, object]]]:
+    """Split findings into (new, baselined) and report expired entries.
+
+    Findings matching a baseline entry are absorbed up to the entry's
+    ``count``; the surplus — a *regression* at an already-known site —
+    stays new.  Entries with no matching findings at all are expired.
+    """
+    budget: Dict[str, int] = {}
+    for entry in entries:
+        budget[str(entry["fingerprint"])] = budget.get(
+            str(entry["fingerprint"]), 0
+        ) + int(entry.get("count", 1))  # type: ignore[call-overload]
+    new: List[Violation] = []
+    baselined: List[Violation] = []
+    seen: Dict[str, int] = {}
+    for violation in sorted(violations):
+        fp = fingerprint(*_key(violation))
+        seen[fp] = seen.get(fp, 0) + 1
+        if seen[fp] <= budget.get(fp, 0):
+            baselined.append(violation)
+        else:
+            new.append(violation)
+    expired = [
+        entry for entry in entries if str(entry["fingerprint"]) not in seen
+    ]
+    return new, baselined, expired

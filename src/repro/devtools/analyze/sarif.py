@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 reporter for the whole-program analyzer.
+
+Emits one run with the full finding set; findings absorbed by the
+committed baseline carry a ``suppressions`` entry (``kind: external``)
+so SARIF viewers — including GitHub code scanning — show only the new
+ones by default while keeping the historical context queryable.
+
+The document is deterministic: results arrive pre-sorted, keys are
+sorted and paths are POSIX-relative to the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.devtools.lint.engine import PARSE_ERROR_ID, Violation
+
+#: The canonical 2.1.0 schema URI asserted by the test suite.
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+TOOL_NAME = "fasea-analyze"
+TOOL_URI = "https://github.com/fasea/repro"
+
+
+def _relativize(path: str, base: Optional[Path]) -> str:
+    if base is None:
+        return path
+    try:
+        return Path(path).resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path
+
+
+def _rule_descriptor(rule_id: str, summary: str) -> Dict[str, Any]:
+    return {
+        "id": rule_id,
+        "name": rule_id,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rule_summaries: Dict[str, str],
+    suppressed: Optional[Set[Violation]] = None,
+    base: Optional[Path] = None,
+    tool_version: str = "1.0.0",
+) -> str:
+    """Render findings as a SARIF 2.1.0 document.
+
+    Findings in ``suppressed`` (the baseline-absorbed set) carry a
+    ``suppressions`` entry; everything else is reported as live.
+    """
+    used_rules = sorted(
+        {violation.rule_id for violation in violations} | set(rule_summaries)
+    )
+    descriptors = [
+        _rule_descriptor(
+            rule_id,
+            rule_summaries.get(rule_id, "analyzer parse error")
+            if rule_id != PARSE_ERROR_ID
+            else "file could not be parsed",
+        )
+        for rule_id in used_rules
+    ]
+    rule_index = {rule_id: index for index, rule_id in enumerate(used_rules)}
+    results: List[Dict[str, Any]] = []
+    for violation in sorted(violations):
+        result: Dict[str, Any] = {
+            "ruleId": violation.rule_id,
+            "ruleIndex": rule_index[violation.rule_id],
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relativize(violation.path, base),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if suppressed is not None and violation in suppressed:
+            result["suppressions"] = [
+                {
+                    "kind": "external",
+                    "justification": "absorbed by devtools/analyze-baseline.json",
+                }
+            ]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -51,6 +51,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for per-file lint units (0 = all CPUs); "
+            "output is byte-identical to --jobs 1, only faster"
+        ),
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "additionally run the whole-program analyzer (FAS011-FAS014) "
+            "over the same paths and merge its new findings"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -76,10 +93,15 @@ def run_lint(args: argparse.Namespace) -> int:
         rng_whitelist=_split(args.rng_whitelist) or (),
     )
     try:
-        violations = lint_paths(args.paths, config)
+        violations = lint_paths(args.paths, config, jobs=args.jobs)
     except ValueError as error:  # unknown rule ids in --select/--ignore
         print(f"fasea lint: {error}", file=sys.stderr)
         return 2
+    if getattr(args, "project", False):
+        from repro.devtools.analyze import run_project
+
+        result = run_project(args.paths)
+        violations = sorted(violations + list(result.new_violations))
     renderer = render_json if args.format == "json" else render_text
     output = renderer(violations)
     print(output, end="")

@@ -90,6 +90,7 @@ class FileContext:
             for child in ast.iter_child_nodes(node):
                 self.parents[child] = node
         self.line_pragmas, self.file_pragmas = _collect_pragmas(source)
+        self._extend_pragmas_over_decorators()
         parts = path.with_suffix("").parts
         self.path_parts: Tuple[str, ...] = path.parts
         self.module_parts: Tuple[str, ...] = (
@@ -119,6 +120,28 @@ class FileContext:
                 return current
             current = self.parents.get(current)
         return None
+
+    def _extend_pragmas_over_decorators(self) -> None:
+        """Let decorator-line pragmas cover the decorated statement.
+
+        Several rules report on the ``def``/``class`` line of a decorated
+        definition, but the natural place to write the pragma is next to
+        the decorator that makes the pattern necessary.  A ``disable=``
+        pragma on any decorator line therefore also suppresses rules on
+        the decorated definition's own line.
+        """
+        for node in ast.walk(self.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            carried: Set[str] = set()
+            for decorator in node.decorator_list:
+                last = getattr(decorator, "end_lineno", None) or decorator.lineno
+                for line in range(decorator.lineno, last + 1):
+                    carried |= self.line_pragmas.get(line, set())
+            if carried:
+                self.line_pragmas.setdefault(node.lineno, set()).update(carried)
 
     def is_suppressed(self, violation: Violation) -> bool:
         if violation.rule_id == PARSE_ERROR_ID:
@@ -320,17 +343,42 @@ def iter_python_files(paths: Sequence["str | Path"]) -> Iterator[Path]:
             yield candidate
 
 
+def _lint_one_path(payload: Tuple[str, LintConfig]) -> List[Violation]:
+    """Parallel work unit: lint a single file.
+
+    Module-level by FAS006's own contract — it is pickled by reference
+    when ``fasea lint --jobs N`` fans files out over ``repro.parallel``.
+    """
+    path, config = payload
+    return lint_file(path, config)
+
+
 def lint_paths(
     paths: Sequence["str | Path"],
     config: Optional[LintConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[Violation]:
-    """Lint every Python file under ``paths`` (files or directories)."""
+    """Lint every Python file under ``paths`` (files or directories).
+
+    ``jobs`` fans per-file work units out over
+    :func:`repro.parallel.run_work_units`; results are merged in
+    submission order and globally sorted, so the output is byte-identical
+    to the serial path for every worker count.
+    """
     config = config or LintConfig()
+    files = list(iter_python_files(paths))
     violations: List[Violation] = []
-    for path in iter_python_files(paths):
-        # Rules keep only per-file state (reset in ``prepare``), but a
-        # fresh instantiation per file makes that a non-issue by design.
-        violations.extend(lint_file(path, config, rules=resolve_rules(config)))
+    if jobs is not None and jobs != 1 and len(files) > 1:
+        from repro.parallel import run_work_units
+
+        units = [(str(path), config) for path in files]
+        for batch in run_work_units(_lint_one_path, units, jobs=jobs):
+            violations.extend(batch)
+    else:
+        for path in files:
+            # Rules keep only per-file state (reset in ``prepare``), but a
+            # fresh instantiation per file makes that a non-issue by design.
+            violations.extend(lint_file(path, config, rules=resolve_rules(config)))
     return sorted(violations)
 
 

@@ -1,0 +1,1 @@
+"""Counterpart project: same shape as proj, zero findings."""

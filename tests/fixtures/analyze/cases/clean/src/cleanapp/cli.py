@@ -1,0 +1,9 @@
+"""Entry module for the clean project."""
+
+from cleanapp.selection import pick
+from cleanapp.workers import run_all
+
+
+def main(seed=0):
+    values = run_all([1.0, 2.0, 3.0])
+    return pick(values), seed

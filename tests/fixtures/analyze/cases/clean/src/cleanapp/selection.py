@@ -1,0 +1,8 @@
+"""Selection path that sorts before iterating (no FAS013)."""
+
+
+def pick(options):
+    candidates = set(options)
+    for item in sorted(candidates):
+        return item
+    return None

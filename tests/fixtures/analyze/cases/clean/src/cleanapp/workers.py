@@ -1,0 +1,15 @@
+"""Pure work unit plus a seeded generator (no FAS011/FAS012)."""
+
+from numpy.random import default_rng
+
+from repro.parallel import run_work_units
+
+
+def run_all(values, jobs=2, seed=0):
+    rng = default_rng(seed)
+    shifted = [value + rng.random() for value in values]
+    return run_work_units(double, shifted, jobs=jobs)
+
+
+def double(item):
+    return item * 2

@@ -1,0 +1,1 @@
+"""Miniature project with one seeded violation per FAS011-FAS014."""

@@ -1,0 +1,12 @@
+"""Entry module: everything reachable from here is live."""
+
+from miniapp.pipeline import run_pipeline
+from miniapp.selection import pick_best
+from miniapp.workers import run_all
+
+
+def main(seed=0):
+    values = [1.0, 2.0, 3.0]
+    noisy = run_pipeline(values)
+    doubled = run_all(values)
+    return pick_best(noisy + doubled), seed

@@ -1,0 +1,8 @@
+"""Private helper constructing uncontrolled randomness (FAS011 source)."""
+
+from numpy.random import default_rng
+
+
+def _draw_noise(values):
+    rng = default_rng()
+    return [value + rng.random() for value in values]

@@ -1,0 +1,9 @@
+"""FAS014: a public export nothing reaches."""
+
+
+def unused_helper(values):
+    return sorted(values)
+
+
+def _internal(values):
+    return list(values)

@@ -1,0 +1,7 @@
+"""FAS011: public entry path that consumes randomness two hops away."""
+
+from miniapp.helpers import _draw_noise
+
+
+def run_pipeline(values):
+    return _draw_noise(values)

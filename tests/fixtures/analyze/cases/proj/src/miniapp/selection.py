@@ -1,0 +1,10 @@
+"""FAS013: unordered set iteration on a selection path."""
+
+
+def pick_best(scores):
+    candidates = set(scores)
+    best = None
+    for item in candidates:
+        if best is None or item > best:
+            best = item
+    return best

@@ -1,0 +1,10 @@
+"""Work unit whose impurity hides one call deep."""
+
+
+def work_unit(item):
+    _log(item)
+    return item * 2
+
+
+def _log(item):
+    print("processed", item)

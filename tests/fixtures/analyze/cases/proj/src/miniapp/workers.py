@@ -1,0 +1,8 @@
+"""FAS012: submits a transitively impure work unit to the executor."""
+
+from miniapp.util import work_unit
+from repro.parallel import run_work_units
+
+
+def run_all(values, jobs=2):
+    return run_work_units(work_unit, list(values), jobs=jobs)

@@ -1,0 +1,30 @@
+"""A pragma on a decorator line must cover the decorated definition.
+
+The violation (FAS004 mutable default) is reported on the ``def`` line,
+but the only place a reader can hang the pragma is the decorator above
+it — the engine carries decorator-line pragmas down to the definition.
+"""
+
+import functools
+
+
+def tagged(func):
+    return func
+
+
+@tagged  # fasealint: disable=FAS004
+def suppressed_lookup(key, bucket={}):
+    bucket[key] = True
+    return bucket
+
+
+@functools.wraps(tagged)  # fasealint: disable=FAS004
+def suppressed_wrapped(key, bucket={}):
+    bucket[key] = True
+    return bucket
+
+
+@tagged
+def uncovered_lookup(key, bucket={}):
+    bucket[key] = True
+    return bucket

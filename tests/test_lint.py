@@ -174,6 +174,33 @@ def test_file_pragma_suppresses_whole_file():
     assert lint_file(CASES / "pragmas_file.py") == []
 
 
+def test_decorator_pragma_covers_the_decorated_def():
+    # A pragma can only live on the decorator line, but FAS004 reports on
+    # the def line below it — the engine must carry the pragma down.
+    violations = lint_file(CASES / "pragmas_decorator.py")
+    assert [(v.rule_id, v.line) for v in violations] == [("FAS004", 28)]
+
+
+def test_decorator_pragma_does_not_leak_past_the_definition(tmp_path):
+    # The carried pragma covers the decorated def's line only — a second,
+    # undecorated definition further down still fires.
+    bad = tmp_path / "two_defs.py"
+    bad.write_text(
+        "def tagged(func):\n"
+        "    return func\n"
+        "\n"
+        "\n"
+        "@tagged  # fasealint: disable=FAS004\n"
+        "def covered(bucket={}):\n"
+        "    return bucket\n"
+        "\n"
+        "\n"
+        "def uncovered(bucket={}):\n"
+        "    return bucket\n"
+    )
+    assert [(v.rule_id, v.line) for v in lint_file(bad)] == [("FAS004", 10)]
+
+
 def test_pragma_inside_string_literal_does_not_suppress(tmp_path):
     bad = tmp_path / "src" / "doc_pragma.py"
     bad.parent.mkdir()
@@ -205,6 +232,31 @@ def test_json_report_shape():
     for entry in payload["violations"]:
         assert set(entry) == {"path", "line", "col", "rule", "message"}
         assert "\\" not in entry["path"]  # POSIX-relative for portability
+
+
+# ----------------------------------------------------------------------
+# Parallel lint (--jobs)
+# ----------------------------------------------------------------------
+def test_lint_paths_jobs_is_byte_identical_to_serial():
+    serial = render_json(lint_paths([CASES]), base=CASES)
+    parallel = render_json(lint_paths([CASES], jobs=4), base=CASES)
+    assert parallel == serial
+
+
+def test_lint_paths_jobs_one_stays_inline():
+    # jobs=1 must not spin up workers (same code path as the default).
+    assert lint_paths([CASES], jobs=1) == lint_paths([CASES])
+
+
+def test_cli_lint_jobs_flag(capsys):
+    assert cli_main(["lint", "--jobs", "4", str(CASES / "clean.py")]) == 0
+    assert "no violations" in capsys.readouterr().out
+    serial_code = cli_main(["lint", str(CASES)])
+    serial_out = capsys.readouterr().out
+    parallel_code = cli_main(["lint", "--jobs", "4", str(CASES)])
+    parallel_out = capsys.readouterr().out
+    assert parallel_code == serial_code == 1
+    assert parallel_out == serial_out
 
 
 # ----------------------------------------------------------------------

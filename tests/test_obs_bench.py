@@ -196,7 +196,12 @@ def test_smoke_benchmark_is_bit_deterministic(smoke_record):
         assert again["metrics"][name] == smoke_record["metrics"][name]
     assert smoke_record["directions"]["wall_seconds"] == "lower"
     rows = compare_histories([smoke_record], [again])
-    assert not has_regression(rows)
+    # Gate on exact metrics only: wall_seconds is machine noise (two
+    # in-process runs under a loaded test runner legitimately differ),
+    # and the determinism contract this test pins is the exact rows.
+    exact_rows = [row for row in rows if row.direction == "exact"]
+    assert exact_rows
+    assert not has_regression(exact_rows)
 
 
 def test_smoke_benchmark_validates_repeats():

@@ -16,6 +16,7 @@ from repro.bandits import POLICY_NAMES, OptPolicy, make_policy
 from repro.datasets.synthetic import SyntheticConfig, build_world
 from repro.exceptions import ConfigurationError
 from repro.io.runstore import RunStore
+from repro.obs.core import current
 from repro.parallel import ReplicationCell, resolve_jobs, run_replication_cell, run_work_units
 from repro.simulation.history import History
 from repro.simulation.runner import run_policy
@@ -97,7 +98,11 @@ def replicate_policies(
     result = ReplicationResult(config=config, seeds=seeds, horizon=horizon)
     result.accept_ratios = {name: [] for name in ("OPT", *policy_names)}
     result.total_regrets = {name: [] for name in policy_names}
-    if resolve_jobs(jobs) > 1:
+    # The flight recorder logs one record group per seed via the cell
+    # runner; take the cells path even serially so the record order
+    # (and thus decisions.jsonl) is byte-identical for every --jobs.
+    recording = getattr(current(), "flight_recorder", None) is not None
+    if resolve_jobs(jobs) > 1 or recording:
         cells = [
             ReplicationCell(
                 config=config,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -71,6 +71,13 @@ class Policy(abc.ABC):
     #: Metric-name label; defaults to ``name`` (fleet keys override it).
     _obs_label: Optional[str] = None
 
+    #: Decision capture switch (flight recorder); class-level disabled
+    #: default keeps the hot path to a single attribute read.
+    _capture_decisions: bool = False
+    #: The last round's captured decision info (replaced wholesale on
+    #: every select when capture is on).
+    _decision: Optional[Dict[str, Any]] = None
+
     @abc.abstractmethod
     def select(self, view: RoundView) -> List[int]:
         """Return the arrangement ``A_t`` (event ids) for this round."""
@@ -95,6 +102,42 @@ class Policy(abc.ABC):
         """Fully qualified metric name: ``policy.<label>.<metric>``."""
         return f"policy.{self._obs_label or self.name}.{metric}"
 
+    # ------------------------------------------------------------------
+    # Decision capture (flight recorder; see repro.obs.flight)
+    # ------------------------------------------------------------------
+    def enable_decision_capture(self, enabled: bool = True) -> None:
+        """Turn per-round decision capture on/off (runners call this)."""
+        self._capture_decisions = bool(enabled)
+        self._decision = None
+
+    def decision_info(self) -> Optional[Dict[str, Any]]:
+        """The last :meth:`select`'s captured decision surface, if any.
+
+        Populated only while decision capture is enabled: candidate
+        scores, UCB widths / TS samples where applicable, the
+        exploration coin and its propensity, oracle rejection counts
+        and an RNG-state fingerprint.  Policies that do not capture
+        (e.g. :class:`DisjointUcbPolicy`) return ``None`` and the
+        flight record carries just the runner-visible fields.
+        """
+        return self._decision
+
+    def _stash_decision(self, **info: Any) -> None:
+        """Replace the captured decision info for the current round."""
+        self._decision = info
+
+    def _stash_oracle_stats(self, stats: OracleStats) -> None:
+        """Fold one oracle scan's diagnostics into the captured info."""
+        if self._decision is None:
+            self._decision = {}
+        self._decision["oracle"] = {
+            "candidates": int(stats.candidates),
+            "visited": int(stats.visited),
+            "conflict_rejections": int(stats.conflict_rejections),
+            "capacity_rejections": int(stats.capacity_rejections),
+            "arranged": int(stats.arranged),
+        }
+
     def theta_estimate(self) -> Optional[np.ndarray]:
         """The policy's current ``theta^`` estimate, if it keeps one.
 
@@ -117,7 +160,8 @@ class Policy(abc.ABC):
         arrangement either way (``stats`` never alters the scan).
         """
         obs = self._obs
-        if not obs.enabled:
+        capture = self._capture_decisions
+        if not obs.enabled and not capture:
             return oracle_greedy(
                 scores=scores,
                 conflicts=view.conflicts,
@@ -134,7 +178,10 @@ class Policy(abc.ABC):
             order=order,
             stats=stats,
         )
-        self._record_oracle_stats(view, stats)
+        if obs.enabled:
+            self._record_oracle_stats(view, stats)
+        if capture:
+            self._stash_oracle_stats(stats)
         return arrangement
 
     def _record_oracle_stats(self, view: RoundView, stats: OracleStats) -> None:

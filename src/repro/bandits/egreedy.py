@@ -16,6 +16,7 @@ from repro.bandits.base import Policy, RoundView
 from repro.bandits.linear import LinearModel
 from repro.exceptions import ConfigurationError
 from repro.linalg.sampling import RngLike, make_rng
+from repro.obs.flight import rng_fingerprint
 from repro.oracle.greedy import OracleStats
 from repro.oracle.random_order import random_arrangement
 
@@ -51,6 +52,10 @@ class EpsilonGreedyPolicy(Policy):
         self._rng = make_rng(seed)
 
     def select(self, view: RoundView) -> List[int]:
+        capture = self._capture_decisions
+        # Fingerprint before the coin flip: reading the state does not
+        # advance it, so the recorded stream is capture-invariant.
+        rng_state = rng_fingerprint(self._rng) if capture else None
         # The coin flip always happens first so the RNG stream is
         # identical with or without instrumentation.
         explore = self._rng.uniform() <= self.epsilon
@@ -62,8 +67,19 @@ class EpsilonGreedyPolicy(Policy):
             obs.series(self.obs_name("explored")).append(
                 view.time_step, 1.0 if explore else 0.0
             )
+        if capture:
+            # Branch propensity: the explore arm set itself is uniform
+            # over feasible arrangements (density not logged), so only
+            # the exploit branch yields a usable importance weight.
+            self._stash_decision(
+                explore=bool(explore),
+                propensity=(
+                    self.epsilon if explore else 1.0 - self.epsilon
+                ),
+                rng=rng_state,
+            )
         if explore:
-            if not obs.enabled:
+            if not obs.enabled and not capture:
                 return random_arrangement(
                     conflicts=view.conflicts,
                     remaining_capacities=view.remaining_capacities,
@@ -78,9 +94,15 @@ class EpsilonGreedyPolicy(Policy):
                 rng=self._rng,
                 stats=stats,
             )
-            self._record_oracle_stats(view, stats)
+            if obs.enabled:
+                self._record_oracle_stats(view, stats)
+            if capture:
+                self._stash_oracle_stats(stats)
             return arrangement
-        return self._run_oracle(view, self.model.predict(view.contexts))
+        scores = self.model.predict(view.contexts)
+        if capture and self._decision is not None:
+            self._decision["scores"] = [float(v) for v in scores]
+        return self._run_oracle(view, scores)
 
     def observe(
         self, view: RoundView, arranged: Sequence[int], rewards: Sequence[float]

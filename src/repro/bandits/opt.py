@@ -32,7 +32,13 @@ class OptPolicy(Policy):
             raise ConfigurationError(
                 f"contexts have dim {view.dim} but theta has {self.theta.size}"
             )
-        return self._run_oracle(view, view.contexts @ self.theta)
+        scores = view.contexts @ self.theta
+        if self._capture_decisions:
+            # Clairvoyant and deterministic: propensity 1.
+            self._stash_decision(
+                scores=[float(v) for v in scores], propensity=1.0
+            )
+        return self._run_oracle(view, scores)
 
     def predicted_scores(self, contexts: np.ndarray) -> np.ndarray:
         return np.atleast_2d(contexts) @ self.theta

@@ -10,6 +10,7 @@ from typing import List
 
 from repro.bandits.base import Policy, RoundView
 from repro.linalg.sampling import RngLike, make_rng
+from repro.obs.flight import rng_fingerprint
 from repro.oracle.greedy import OracleStats
 from repro.oracle.random_order import random_arrangement
 
@@ -24,7 +25,16 @@ class RandomPolicy(Policy):
 
     def select(self, view: RoundView) -> List[int]:
         obs = self._obs
-        if not obs.enabled:
+        capture = self._capture_decisions
+        if capture:
+            # Uniform over feasible arrangements; the per-arrangement
+            # density is not logged, so the propensity is None.
+            self._stash_decision(
+                explore=True,
+                propensity=None,
+                rng=rng_fingerprint(self._rng),
+            )
+        if not obs.enabled and not capture:
             return random_arrangement(
                 conflicts=view.conflicts,
                 remaining_capacities=view.remaining_capacities,
@@ -39,5 +49,8 @@ class RandomPolicy(Policy):
             rng=self._rng,
             stats=stats,
         )
-        self._record_oracle_stats(view, stats)
+        if obs.enabled:
+            self._record_oracle_stats(view, stats)
+        if capture:
+            self._stash_oracle_stats(stats)
         return arrangement

@@ -22,6 +22,7 @@ from repro.bandits.base import Policy, RoundView
 from repro.bandits.linear import LinearModel
 from repro.exceptions import ConfigurationError
 from repro.linalg.sampling import RngLike, cholesky_sample, make_rng
+from repro.obs.flight import rng_fingerprint
 
 
 class ThompsonSamplingPolicy(Policy):
@@ -92,6 +93,11 @@ class ThompsonSamplingPolicy(Policy):
         return cholesky_sample(mean, (q * q) * y_inv, self._rng)
 
     def select(self, view: RoundView) -> List[int]:
+        capture = self._capture_decisions
+        # Fingerprint before the posterior draw: replaying from the
+        # same seed must land on the same pre-draw state (reading the
+        # state does not advance the stream).
+        rng_state = rng_fingerprint(self._rng) if capture else None
         theta_sample = self.sample_theta(view.time_step)
         obs = self._obs
         if obs.enabled:
@@ -109,6 +115,17 @@ class ThompsonSamplingPolicy(Policy):
                 view.time_step, self.sampling_width(view.time_step)
             )
         scores = view.contexts @ theta_sample
+        if capture:
+            # The TS action is a draw from a continuous posterior over
+            # a combinatorial action space; no per-action density is
+            # logged, so the propensity is None (IPS/SNIPS/DR skip it).
+            self._stash_decision(
+                scores=[float(v) for v in scores],
+                theta_sample=[float(v) for v in theta_sample],
+                sampling_width=self.sampling_width(view.time_step),
+                propensity=None,
+                rng=rng_state,
+            )
         return self._run_oracle(view, scores)
 
     def observe(

@@ -51,15 +51,26 @@ class UcbPolicy(Policy):
 
     def select(self, view: RoundView) -> List[int]:
         obs = self._obs
-        if obs.enabled:
+        capture = self._capture_decisions
+        if obs.enabled or capture:
             # Compute the two score terms separately so the confidence
             # width — the paper's exploration-shrinkage diagnostic — can
             # be recorded without a second |V| x d pass.
             widths = self.model.confidence_widths(view.contexts)
             scores = self.model.predict(view.contexts) + self.alpha * widths
-            obs.series(self.obs_name("ucb_width")).append(
-                view.time_step, float(widths.mean())
-            )
+            if obs.enabled:
+                obs.series(self.obs_name("ucb_width")).append(
+                    view.time_step, float(widths.mean())
+                )
+            if capture:
+                # UCB is deterministic given its ridge state, so the
+                # logged action has propensity 1 under the behavior
+                # policy (the OPE contract for greedy policies).
+                self._stash_decision(
+                    scores=[float(v) for v in scores],
+                    widths=[float(v) for v in widths],
+                    propensity=1.0,
+                )
         else:
             scores = self.upper_confidence_bounds(view.contexts)
         return self._run_oracle(view, scores)

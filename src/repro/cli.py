@@ -104,6 +104,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream telemetry while running (implies --obs)",
     )
     quickstart.add_argument(
+        "--flight",
+        action="store_true",
+        help=(
+            "record a decision flight log (decisions.jsonl, implies "
+            "--obs); replay with 'fasea obs replay <out>', evaluate "
+            "counterfactually with 'fasea obs ope <out> --policy NAME'"
+        ),
+    )
+    quickstart.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the per-policy runs (0 = all CPUs); "
+            "results — including decisions.jsonl — are byte-identical "
+            "to --jobs 1"
+        ),
+    )
+    quickstart.add_argument(
         "--out",
         default="results/quickstart",
         help="directory for --obs telemetry artefacts",
@@ -130,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the per-seed cells (0 = all CPUs); "
             "results are identical to --jobs 1, only faster"
+        ),
+    )
+    replicate.add_argument(
+        "--flight",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record a decision flight log (decisions.jsonl + telemetry) "
+            "into DIR; replay with 'fasea obs replay DIR'"
         ),
     )
 
@@ -264,19 +292,38 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The quickstart suite: OPT first (the regret reference), then the
+#: paper's five policies, all sharing one policy seed.
+_QUICKSTART_POLICIES = ("UCB", "TS", "eGreedy", "Exploit", "Random")
+_QUICKSTART_HORIZON = 2000
+_QUICKSTART_RUN_SEED = 0
+_QUICKSTART_POLICY_SEED = 7
+
+
 def _quickstart(args: argparse.Namespace) -> int:
-    from repro import OptPolicy, SyntheticConfig, build_world, make_policy, run_policy
+    from repro import SyntheticConfig
     from repro.obs.console import Console
+    from repro.obs.core import NULL_OBS, use
+    from repro.parallel import (
+        OPT_KEY,
+        PolicyRunCell,
+        run_policy_run_cell,
+        run_work_units,
+    )
 
     console = Console(quiet=args.quiet)
     profile_every = getattr(args, "profile", None)
     stream_enabled = bool(getattr(args, "stream", False))
+    flight_enabled = bool(getattr(args, "flight", False))
     record_obs = (
         bool(getattr(args, "obs", False))
         or profile_every is not None
         or stream_enabled
+        or flight_enabled
     )
     stream_sink = None
+    flight_recorder = None
+    config = SyntheticConfig.scaled_default(seed=42)
     if record_obs:
         from repro.obs.core import Instrumentation
 
@@ -290,31 +337,62 @@ def _quickstart(args: argparse.Namespace) -> int:
 
             stream_sink = StreamingSink(args.out, obs)
             obs.stream_sink = stream_sink
-    else:
-        from repro.obs.core import NULL_OBS
+        if flight_enabled:
+            from repro.obs.flight import FlightRecorder, make_run_header
 
+            specs = [{"name": OPT_KEY}] + [
+                {"name": name, "seed": _QUICKSTART_POLICY_SEED}
+                for name in _QUICKSTART_POLICIES
+            ]
+            flight_recorder = FlightRecorder(
+                args.out,
+                run=make_run_header(
+                    config,
+                    _QUICKSTART_HORIZON,
+                    _QUICKSTART_RUN_SEED,
+                    specs,
+                ),
+            )
+            obs.flight_recorder = flight_recorder
+    else:
         obs = NULL_OBS
-    config = SyntheticConfig.scaled_default(seed=42)
-    world = build_world(config)
+    names = (OPT_KEY, *_QUICKSTART_POLICIES)
+    cells = [
+        PolicyRunCell(
+            config=config,
+            policy_name=name,
+            horizon=_QUICKSTART_HORIZON,
+            run_seed=_QUICKSTART_RUN_SEED,
+            policy_seed=_QUICKSTART_POLICY_SEED,
+        )
+        for name in names
+    ]
     try:
-        opt_history = run_policy(OptPolicy(world.theta), world, horizon=2000, obs=obs)
-        console.result("policy     accept_ratio  total_reward  regret_vs_OPT")
-        for name in ("UCB", "TS", "eGreedy", "Exploit", "Random"):
-            policy = make_policy(name, dim=config.dim, seed=7)
-            history = run_policy(policy, world, horizon=2000, obs=obs)
-            regret = opt_history.total_reward - history.total_reward
-            console.result(
-                f"{name:<10} {history.overall_accept_ratio:>12.3f} "
-                f"{history.total_reward:>13.0f} {regret:>14.0f}"
+        with use(obs):
+            histories = dict(
+                zip(names, run_work_units(run_policy_run_cell, cells, jobs=args.jobs))
             )
     finally:
         if stream_sink is not None:
             stream_sink.close()
+        if flight_recorder is not None:
+            flight_recorder.close()
+    opt_history = histories[OPT_KEY]
+    console.result("policy     accept_ratio  total_reward  regret_vs_OPT")
+    for name in _QUICKSTART_POLICIES:
+        history = histories[name]
+        regret = opt_history.total_reward - history.total_reward
+        console.result(
+            f"{name:<10} {history.overall_accept_ratio:>12.3f} "
+            f"{history.total_reward:>13.0f} {regret:>14.0f}"
+        )
     if record_obs:
         from repro.io.runstore import persist_run_telemetry
 
         paths = persist_run_telemetry(args.out, obs)
         console.info(f"telemetry written to {paths['metrics'].parent}")
+        if flight_recorder is not None:
+            console.info(f"decision flight log in {flight_recorder.path}")
         if profile_every is not None:
             from repro.obs.profile import Profile, write_profile
 
@@ -327,23 +405,51 @@ def _quickstart(args: argparse.Namespace) -> int:
 
 def _replicate(args: argparse.Namespace) -> int:
     from repro.analysis import replicate_policies
+    from repro.bandits import POLICY_NAMES
     from repro.datasets.synthetic import SyntheticConfig
     from repro.experiments.reporting import format_table
     from repro.io import RunStore
+    from repro.obs.core import NULL_OBS, use
 
     config = SyntheticConfig.scaled_default().with_overrides(horizon=args.horizon)
     store = RunStore(args.store) if args.store else None
-    try:
-        result = replicate_policies(
-            config,
-            seeds=range(args.seeds),
-            horizon=args.horizon,
-            store=store,
-            jobs=args.jobs,
+    flight_recorder = None
+    obs = NULL_OBS
+    if args.flight:
+        from repro.obs.core import Instrumentation
+        from repro.obs.flight import FlightRecorder, make_replication_header
+
+        obs = Instrumentation()
+        flight_recorder = FlightRecorder(
+            args.flight,
+            run=make_replication_header(
+                config,
+                args.horizon,
+                range(args.seeds),
+                POLICY_NAMES,
+                policy_seed=1,
+            ),
         )
+        obs.flight_recorder = flight_recorder
+    try:
+        with use(obs):
+            result = replicate_policies(
+                config,
+                seeds=range(args.seeds),
+                horizon=args.horizon,
+                store=store,
+                jobs=args.jobs,
+            )
     finally:
         if store is not None:
             store.close()
+        if flight_recorder is not None:
+            flight_recorder.close()
+    if flight_recorder is not None:
+        from repro.io.runstore import persist_run_telemetry
+
+        persist_run_telemetry(args.flight, obs)
+        print(f"decision flight log in {flight_recorder.path}", file=sys.stderr)
     rows = [
         [policy, f"{mean:.3f}", f"[{low:.3f}, {high:.3f}]",
          "-" if regret is None else f"{regret:.0f}"]

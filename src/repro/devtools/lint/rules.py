@@ -1,4 +1,4 @@
-"""The fasealint rule catalogue (FAS001-FAS010).
+"""The fasealint rule catalogue (FAS001-FAS010, FAS015).
 
 Every rule guards an invariant the FASEA reproduction's headline claims
 depend on — see DESIGN.md §5.7 for the rationale per rule.  Rules are
@@ -785,3 +785,51 @@ class NoWallClockRule(Rule):
                 )
             ]
         return ()
+
+
+# ----------------------------------------------------------------------
+# FAS015 — schema versions come from module-level constants
+# ----------------------------------------------------------------------
+@register
+class NoInlineSchemaVersionRule(Rule):
+    """Artefact sinks (``metrics.json``, ``trace.jsonl``,
+    ``decisions.jsonl``, bench histories...) stamp a schema version so
+    readers can refuse incompatible files.  Writing the version as an
+    inline literal — ``{"schema_version": 1}`` — lets the writer and the
+    reader's compatibility check drift apart on a bump; the value must
+    be a named module-level constant (``FLIGHT_SCHEMA_VERSION`` style)
+    shared by both sides.  Tests and benchmarks may pin literals (they
+    *assert* versions)."""
+
+    rule_id = "FAS015"
+    summary = "schema versions in src/ come from module-level constants"
+
+    _VERSION_KEYS = frozenset({"schema_version", "version"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_src
+
+    def visit_Dict(self, node: ast.Dict, ctx: FileContext) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for key, value in zip(node.keys, node.values):
+            if not (
+                isinstance(key, ast.Constant)
+                and key.value in self._VERSION_KEYS
+            ):
+                continue
+            if (
+                isinstance(value, ast.Constant)
+                and not isinstance(value.value, bool)
+                and isinstance(value.value, (int, str))
+            ):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        value,
+                        f"inline schema version {value.value!r} under key "
+                        f"{key.value!r}; name it in a module-level "
+                        "*_SCHEMA_VERSION constant so the writer and the "
+                        "reader's compatibility check share one definition",
+                    )
+                )
+        return violations

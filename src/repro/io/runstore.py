@@ -26,10 +26,13 @@ from repro.exceptions import ConfigurationError, SchemaError
 from repro.obs.clock import wall_time
 from repro.obs.core import InstrumentationLike, MetricsSnapshot
 from repro.obs.export import snapshot_from_json, snapshot_to_json
+from repro.obs.flight import DECISIONS_FILENAME
 from repro.obs.trace import write_trace_jsonl
 from repro.simulation.history import History
 
 #: Telemetry artefact filenames written next to each run's outputs.
+#: (DECISIONS_FILENAME — the flight recorder's decision log — is owned
+#: by repro.obs.flight and re-exported here for sink-layer callers.)
 METRICS_FILENAME = "metrics.json"
 TRACE_FILENAME = "trace.jsonl"
 
@@ -102,6 +105,7 @@ def load_run_metrics(directory: Union[str, Path]) -> MetricsSnapshot:
 # Re-exported for callers that want to surface the failure mode in docs
 # or except clauses without importing repro.exceptions directly.
 __all__ = [
+    "DECISIONS_FILENAME",
     "METRICS_FILENAME",
     "TRACE_FILENAME",
     "RunRecord",

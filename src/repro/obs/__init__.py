@@ -45,6 +45,20 @@ from repro.obs.export import (
     snapshot_to_json,
     to_prometheus_text,
 )
+from repro.obs.flight import (
+    DECISIONS_FILENAME,
+    FLIGHT_SCHEMA_VERSION,
+    FlightBuffer,
+    FlightLog,
+    FlightRecorder,
+    decision_record,
+    flight_digest,
+    load_flight,
+    make_replication_header,
+    make_run_header,
+    policy_digests,
+    rng_fingerprint,
+)
 from repro.obs.profile import Profile, ProfileConfig, load_profile, write_profile
 from repro.obs.stream import StreamingSink, run_tail, tail_lines
 from repro.obs.trace import (
@@ -57,6 +71,11 @@ from repro.obs.trace import (
 __all__ = [
     "Console",
     "Counter",
+    "DECISIONS_FILENAME",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightBuffer",
+    "FlightLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
@@ -71,8 +90,15 @@ __all__ = [
     "append_trace_jsonl",
     "color_allowed",
     "current",
+    "decision_record",
+    "flight_digest",
+    "load_flight",
     "load_profile",
+    "make_replication_header",
+    "make_run_header",
+    "policy_digests",
     "read_trace_jsonl",
+    "rng_fingerprint",
     "run_tail",
     "set_current",
     "snapshot_from_json",

@@ -423,6 +423,40 @@ def run_smoke_benchmark(
         histories["TS"].total_reward - histories["UCB"].total_reward
     )
     directions["ts_vs_ucb_gap"] = "exact"
+    # Decision flight cross-check: recording must not move one reward
+    # bit, and recording the same run twice must produce byte-identical
+    # records — both stamped ``exact`` so the compare gate enforces the
+    # flight recorder's determinism contract on every CI run.
+    from repro.obs.flight import FlightBuffer, flight_digest
+
+    recorded = FlightBuffer()
+    flight_history = run_policy(
+        make_policy("UCB", dim=dim, seed=1),
+        world,
+        horizon=horizon,
+        run_seed=0,
+        flight=recorded,
+    )
+    rerecorded = FlightBuffer()
+    run_policy(
+        make_policy("UCB", dim=dim, seed=1),
+        world,
+        horizon=horizon,
+        run_seed=0,
+        flight=rerecorded,
+    )
+    metrics["flight_decisions"] = float(len(recorded.records))
+    directions["flight_decisions"] = "exact"
+    metrics["flight_reward_delta"] = float(
+        flight_history.total_reward - histories["UCB"].total_reward
+    )
+    directions["flight_reward_delta"] = "exact"
+    metrics["flight_replay_drift"] = (
+        0.0
+        if flight_digest(recorded.records) == flight_digest(rerecorded.records)
+        else 1.0
+    )
+    directions["flight_replay_drift"] = "exact"
     metrics["wall_seconds"] = best_seconds
     directions["wall_seconds"] = "lower"
     return stamp_record("smoke", metrics, directions)

@@ -29,6 +29,15 @@ Verbs over the artefacts written by
     benchmark into a stamped ``BENCH_history.jsonl``, gate a candidate
     history against a baseline with bootstrap CIs (exit 1 on
     regression), and render the static HTML trend dashboard.
+``replay``
+    Re-execute a recorded run from its ``decisions.jsonl`` and assert
+    the replay is bit-identical; ``--until`` time-travels, ``--diff``
+    dumps the first diverging record pair side-by-side.  Exits 1 on
+    divergence.
+``ope``
+    Off-policy evaluation: estimate a target policy's value on a
+    logged behavior stream (IPS/SNIPS/DR with bootstrap CIs, plus the
+    direct-method estimate).
 
 All human-facing output flows through :class:`repro.obs.console.Console`
 so ``--quiet`` and ``NO_COLOR`` behave uniformly.
@@ -75,6 +84,17 @@ def _resolve_trace_path(target: Union[str, Path]) -> Path:
     if not path.is_file():
         raise ConfigurationError(f"no trace file at {path}")
     return path
+
+
+def _resolve_decisions_path(target: Union[str, Path]) -> Optional[Path]:
+    """The decisions.jsonl next to a snapshot, if one was recorded."""
+    from repro.obs.flight import DECISIONS_FILENAME
+
+    path = Path(target)
+    if path.is_file():
+        path = path.parent
+    candidate = path / DECISIONS_FILENAME
+    return candidate if candidate.is_file() else None
 
 
 # ----------------------------------------------------------------------
@@ -165,6 +185,40 @@ def render_summary(snapshot: MetricsSnapshot) -> str:
     return "\n\n".join(sections)
 
 
+def flight_summary_rows(
+    decisions_path: Union[str, Path],
+) -> List[List[str]]:
+    """Per-policy flight-log digest rows for the summary table.
+
+    Columns: policy, decision count, total reward, explore rate (blank
+    when the policy logs no coin), propensity coverage, digest prefix.
+    """
+    from repro.obs.flight import flight_digest, load_flight
+
+    log = load_flight(decisions_path, strict=False)
+    rows: List[List[str]] = []
+    for policy, records in sorted(log.by_policy().items()):
+        total_reward = sum(float(r.get("reward", 0.0)) for r in records)
+        coins = [r for r in records if "explore" in r]
+        explored = sum(1 for r in coins if r.get("explore"))
+        with_propensity = sum(
+            1
+            for r in records
+            if isinstance(r.get("propensity"), (int, float))
+        )
+        rows.append(
+            [
+                policy,
+                str(len(records)),
+                f"{total_reward:g}",
+                f"{explored / len(coins):.3f}" if coins else "-",
+                f"{with_propensity / len(records):.0%}" if records else "-",
+                flight_digest(records)[:12],
+            ]
+        )
+    return rows
+
+
 # ----------------------------------------------------------------------
 # diff
 # ----------------------------------------------------------------------
@@ -214,6 +268,49 @@ def diff_snapshots(
         scale = max(abs(b), abs(c), 1.0)
         if abs(b - c) > tolerance * scale:
             lines.append(f"! {key}: {b:g} -> {c:g}")
+    return lines
+
+
+def flight_diff_lines(
+    baseline: Union[str, Path], candidate: Union[str, Path]
+) -> List[str]:
+    """Decision-log drift lines (empty = identical choices, or no logs).
+
+    Compares the two runs' ``decisions.jsonl`` per-policy record counts
+    and content digests, so drift in *choices* — not just aggregate
+    metrics — is flagged.  A log present on only one side is drift too.
+    """
+    from repro.obs.flight import load_flight, policy_digests
+
+    base_path = _resolve_decisions_path(baseline)
+    cand_path = _resolve_decisions_path(candidate)
+    if base_path is None and cand_path is None:
+        return []
+    if base_path is None:
+        return [f"+ decisions: log only in candidate ({cand_path})"]
+    if cand_path is None:
+        return [f"- decisions: log only in baseline ({base_path})"]
+    base = policy_digests(load_flight(base_path, strict=False).records)
+    cand = policy_digests(load_flight(cand_path, strict=False).records)
+    lines: List[str] = []
+    for policy in sorted(set(base) | set(cand)):
+        if policy not in base:
+            lines.append(f"+ decisions:{policy} (only in candidate)")
+            continue
+        if policy not in cand:
+            lines.append(f"- decisions:{policy} (only in baseline)")
+            continue
+        base_count, base_digest = base[policy]
+        cand_count, cand_digest = cand[policy]
+        if base_count != cand_count:
+            lines.append(
+                f"! decisions:{policy}: {base_count} -> {cand_count} records"
+            )
+        elif base_digest != cand_digest:
+            lines.append(
+                f"! decisions:{policy}: choices drifted "
+                f"({base_digest[:12]} -> {cand_digest[:12]})"
+            )
     return lines
 
 
@@ -353,6 +450,65 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "--quiet", action="store_true", help=argparse.SUPPRESS
     )
 
+    replay = verbs.add_parser(
+        "replay",
+        help="re-execute a recorded run and assert bit-identical decisions",
+    )
+    replay.add_argument(
+        "target", help="run directory or decisions.jsonl file"
+    )
+    replay.add_argument(
+        "--until",
+        type=int,
+        default=None,
+        help="replay only rounds t <= UNTIL (time travel)",
+    )
+    replay.add_argument(
+        "--diff",
+        action="store_true",
+        help="dump the first diverging record pair side-by-side",
+    )
+    replay.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
+    ope = verbs.add_parser(
+        "ope",
+        help="off-policy evaluation of a target policy on a decision log",
+    )
+    ope.add_argument("target", help="run directory or decisions.jsonl file")
+    ope.add_argument(
+        "--policy",
+        required=True,
+        help="target policy to evaluate (OPT or a make_policy name)",
+    )
+    ope.add_argument(
+        "--behavior",
+        default=None,
+        help="logged behavior stream to evaluate against "
+        "(defaults to the only one in the log)",
+    )
+    ope.add_argument(
+        "--target-seed",
+        type=int,
+        default=None,
+        help="override the target policy's RNG seed",
+    )
+    ope.add_argument(
+        "--bootstrap",
+        type=int,
+        default=1000,
+        help="bootstrap resamples for the confidence intervals",
+    )
+    ope.add_argument(
+        "--seed", type=int, default=0, help="bootstrap resampling seed"
+    )
+    ope.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="output format",
+    )
+    ope.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
 
 def run_obs(args: argparse.Namespace, console: Optional[Console] = None) -> int:
     """Execute one ``fasea obs`` verb; returns the process exit code."""
@@ -372,6 +528,10 @@ def run_obs(args: argparse.Namespace, console: Optional[Console] = None) -> int:
             return _profile(args, console)
         if args.obs_command == "bench":
             return _bench(args, console)
+        if args.obs_command == "replay":
+            return _replay(args, console)
+        if args.obs_command == "ope":
+            return _ope(args, console)
     except (ConfigurationError, SchemaError) as error:
         console.error(f"fasea obs: {error}")
         return 2
@@ -391,6 +551,21 @@ def _summary(args: argparse.Namespace, console: Console) -> int:
         return 0
     console.info(f"snapshot: {_resolve_metrics_path(args.target)}")
     console.result(render_summary(snapshot))
+    decisions_path = _resolve_decisions_path(args.target)
+    if decisions_path is not None:
+        from repro.experiments.reporting import format_table
+
+        rows = flight_summary_rows(decisions_path)
+        if rows:
+            console.result("")
+            console.result(
+                "decision flight log (decisions.jsonl)\n"
+                + format_table(
+                    ["policy", "decisions", "reward", "explore",
+                     "propensity", "digest"],
+                    rows,
+                )
+            )
     return 0
 
 
@@ -417,6 +592,7 @@ def _diff(args: argparse.Namespace, console: Console) -> int:
         tolerance=args.tolerance,
         ignore_timings=not args.include_timings,
     )
+    lines.extend(flight_diff_lines(args.baseline, args.candidate))
     if not lines:
         console.info("snapshots agree")
         return 0
@@ -517,3 +693,40 @@ def _bench(args: argparse.Namespace, console: Console) -> int:
         return 0
     console.error(f"fasea obs bench: unknown verb {args.bench_command!r}")
     return 2
+
+
+def _replay(args: argparse.Namespace, console: Console) -> int:
+    from repro.obs.flight import load_flight
+    from repro.obs.replay import render_replay_report, replay_flight
+
+    log = load_flight(args.target, strict=False)
+    console.info(
+        f"replaying {log.path} ({len(log.decisions)} logged decision(s))"
+    )
+    report = replay_flight(log, until=args.until)
+    for line in render_replay_report(report, diff=args.diff):
+        console.result(line)
+    return 0 if report.ok else 1
+
+
+def _ope(args: argparse.Namespace, console: Console) -> int:
+    import json
+
+    from repro.obs.flight import load_flight
+    from repro.obs.ope import evaluate_policy, render_ope_report
+
+    log = load_flight(args.target, strict=False)
+    report = evaluate_policy(
+        log,
+        args.policy,
+        behavior=args.behavior,
+        num_resamples=args.bootstrap,
+        seed=args.seed,
+        target_seed=args.target_seed,
+    )
+    if args.format == "json":
+        console.data(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    for line in render_ope_report(report):
+        console.result(line)
+    return 0

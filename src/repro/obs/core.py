@@ -440,6 +440,9 @@ class Instrumentation:
         # circular import with ``repro.obs.profile`` / ``.stream``.
         self.profile_config: Optional[Any] = None
         self.stream_sink: Optional[Any] = None
+        # Ambient decision flight recorder (repro.obs.flight); runners
+        # fall back to it when their ``flight`` argument is None.
+        self.flight_recorder: Optional[Any] = None
 
     # -- metric accessors ---------------------------------------------
     def _get(self, name: str, cls: type, *args: object) -> Any:

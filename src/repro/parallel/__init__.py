@@ -16,8 +16,11 @@ Entry points that accept ``jobs=``:
 from repro.parallel.cells import (
     GridCell,
     GridCellResult,
+    OPT_KEY,
+    PolicyRunCell,
     ReplicationCell,
     run_grid_cell,
+    run_policy_run_cell,
     run_replication_cell,
 )
 from repro.parallel.executor import resolve_jobs, run_work_units
@@ -25,9 +28,12 @@ from repro.parallel.executor import resolve_jobs, run_work_units
 __all__ = [
     "GridCell",
     "GridCellResult",
+    "OPT_KEY",
+    "PolicyRunCell",
     "ReplicationCell",
     "resolve_jobs",
     "run_grid_cell",
+    "run_policy_run_cell",
     "run_replication_cell",
     "run_work_units",
 ]

@@ -20,9 +20,13 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.bandits import OptPolicy, make_policy
+from repro.bandits.base import Policy
 from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.obs.core import current
+from repro.obs.flight import cell_record
 from repro.simulation.fleet import run_policy_fleet
 from repro.simulation.history import History
+from repro.simulation.runner import run_policy
 
 #: Reserved fleet key for the full-knowledge reference policy.
 OPT_KEY = "OPT"
@@ -52,8 +56,44 @@ def run_replication_cell(cell: ReplicationCell) -> Dict[str, History]:
         policies[name] = make_policy(
             name, dim=cell.config.dim, seed=cell.policy_seed
         )
+    flight = getattr(current(), "flight_recorder", None)
+    if flight is not None:
+        # Group this seed's decisions behind a cell marker so the log
+        # stays parseable per seed after the submission-order merge.
+        flight.record(cell_record(cell.seed))
     return run_policy_fleet(
         policies, world, horizon=cell.horizon, run_seed=cell.seed
+    )
+
+
+@dataclass(frozen=True)
+class PolicyRunCell:
+    """One (policy, run seed) slice of a multi-policy run.
+
+    ``policy_name`` is either :data:`OPT_KEY` (the clairvoyant
+    reference, built from the world's true theta) or a
+    :func:`~repro.bandits.make_policy` name.
+    """
+
+    config: SyntheticConfig
+    policy_name: str
+    horizon: int
+    run_seed: int
+    policy_seed: int
+
+
+def run_policy_run_cell(cell: PolicyRunCell) -> History:
+    """Play one policy against the cell's world via the round runner."""
+    world = build_world(cell.config)
+    policy: Policy
+    if cell.policy_name == OPT_KEY:
+        policy = OptPolicy(world.theta)
+    else:
+        policy = make_policy(
+            cell.policy_name, dim=cell.config.dim, seed=cell.policy_seed
+        )
+    return run_policy(
+        policy, world, horizon=cell.horizon, run_seed=cell.run_seed
     )
 
 

@@ -29,14 +29,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 from repro.exceptions import ConfigurationError
 from repro.obs.clock import wall_time
 from repro.obs.core import Instrumentation, MetricsSnapshot, current, use
+from repro.obs.flight import FlightBuffer
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
 def _run_unit_instrumented(
-    payload: Tuple[Callable[[Any], Any], Any, int, float],
-) -> Tuple[Any, MetricsSnapshot, List[Dict[str, Any]]]:
+    payload: Tuple[Callable[[Any], Any], Any, int, float, bool],
+) -> Tuple[Any, MetricsSnapshot, List[Dict[str, Any]], List[Dict[str, Any]]]:
     """Worker-side wrapper: run one unit under a fresh registry.
 
     Each worker activates its own :class:`Instrumentation` so anything
@@ -45,12 +46,20 @@ def _run_unit_instrumented(
     merges those snapshots **in submission order**, so the aggregate is
     deterministic and independent of worker scheduling.
 
+    When the parent has a decision flight recorder attached, the
+    worker records into an in-memory :class:`FlightBuffer` whose
+    records return with the result; the parent appends them to the
+    real log in submission order — ``decisions.jsonl`` is therefore
+    byte-identical for every worker count.
+
     Queue latency is measured with the wall clock
     (:func:`repro.obs.clock.wall_time`): ``perf_counter`` origins are
     not comparable across processes.
     """
-    fn, unit, index, submitted_at = payload
+    fn, unit, index, submitted_at, flight_enabled = payload
     worker_obs = Instrumentation()
+    if flight_enabled:
+        worker_obs.flight_recorder = FlightBuffer()
     queue_latency = max(0.0, wall_time() - submitted_at)
     with use(worker_obs):
         start = time.perf_counter()
@@ -59,7 +68,10 @@ def _run_unit_instrumented(
     worker_obs.timer("parallel.cell_seconds").observe(wall)
     worker_obs.timer("parallel.queue_latency_seconds").observe(queue_latency)
     worker_obs.series("parallel.cell_wall_seconds").append(index, wall)
-    return result, worker_obs.snapshot(), worker_obs.trace_records()
+    flight_records: List[Dict[str, Any]] = (
+        worker_obs.flight_recorder.records if flight_enabled else []
+    )
+    return result, worker_obs.snapshot(), worker_obs.trace_records(), flight_records
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -156,16 +168,20 @@ def _run_pool_instrumented(
     """Pool execution with worker-side registries merged in unit order."""
     obs.gauge("parallel.workers").set(workers)
     obs.counter("parallel.units").inc(len(units))
+    flight = getattr(obs, "flight_recorder", None)
     results: List[R] = []
     with obs.span("run_work_units", jobs=workers, units=len(units)):
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_unit_instrumented, (fn, unit, index, wall_time()))
+                pool.submit(
+                    _run_unit_instrumented,
+                    (fn, unit, index, wall_time(), flight is not None),
+                )
                 for index, unit in enumerate(units)
             ]
             for index, future in enumerate(futures):
                 try:
-                    result, snapshot, trace = future.result()
+                    result, snapshot, trace, flight_records = future.result()
                 except Exception as error:
                     for pending in futures[index + 1 :]:
                         pending.cancel()
@@ -176,5 +192,7 @@ def _run_pool_instrumented(
                 # every worker count and completion order.
                 obs.merge_snapshot(snapshot)
                 obs.merge_trace(trace)
+                if flight is not None:
+                    flight.extend(flight_records)
                 results.append(result)
     return results

@@ -27,6 +27,7 @@ from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
 from repro.metrics.kendall import kendall_tau
 from repro.obs.core import InstrumentationLike, current
+from repro.obs.flight import decision_record
 from repro.obs.profile import ProfileConfig
 from repro.obs.stream import StreamingSink
 from repro.simulation.history import History, default_checkpoints
@@ -44,6 +45,7 @@ def run_policy_fleet(
     obs: Optional[InstrumentationLike] = None,
     profile: Optional[ProfileConfig] = None,
     stream: Optional[StreamingSink] = None,
+    flight: Optional[object] = None,
 ) -> Dict[str, History]:
     """Play every policy on one shared stream; return histories by name.
 
@@ -70,10 +72,17 @@ def run_policy_fleet(
         profile = getattr(obs, "profile_config", None)
     if stream is None:
         stream = getattr(obs, "stream_sink", None)
+    if flight is None:
+        flight = getattr(obs, "flight_recorder", None)
+    recording = flight is not None
     profiling = instrumented and profile is not None
-    if instrumented:
+    if instrumented or recording:
+        # Recording needs the label too: the "policy" field of each
+        # decision record is the fleet key, not the algorithm name.
         for name, policy in policies.items():
             policy.bind_obs(obs, label=name)
+            if recording:
+                policy.enable_decision_capture(True)
 
     # Mirror FaseaEnvironment's stream construction exactly.
     root = np.random.SeedSequence(entropy=run_seed, spawn_key=(world.config.seed,))
@@ -128,9 +137,12 @@ def run_policy_fleet(
         )
         if instrumented:
             observe_start = time.perf_counter()
-        policy.observe(
-            view, arrangement, [1.0 if flag else 0.0 for flag in accepted_flags]
-        )
+        reward_values = [1.0 if flag else 0.0 for flag in accepted_flags]
+        policy.observe(view, arrangement, reward_values)
+        if recording:
+            flight.record(
+                decision_record(policy, view, arrangement, reward_values)
+            )
         if instrumented:
             observe_end = time.perf_counter()
             record_policy_round(
@@ -175,6 +187,9 @@ def run_policy_fleet(
             if instrumented and stream is not None:
                 stream.maybe_flush(1)
 
+    if recording:
+        for policy in policies.values():
+            policy.enable_decision_capture(False)
     histories: Dict[str, History] = {}
     for name in policies:
         histories[name] = History(

@@ -29,6 +29,7 @@ from repro.ebsn.events import EventStore
 from repro.ebsn.ledger import LedgerEntry
 from repro.metrics.kendall import kendall_tau
 from repro.obs.core import InstrumentationLike, current
+from repro.obs.flight import decision_record
 from repro.obs.profile import ProfileConfig
 from repro.obs.stream import StreamingSink
 from repro.simulation.environment import FaseaEnvironment
@@ -85,6 +86,7 @@ def run_policy(
     obs: Optional[InstrumentationLike] = None,
     profile: Optional[ProfileConfig] = None,
     stream: Optional[StreamingSink] = None,
+    flight: Optional[object] = None,
 ) -> History:
     """Play ``policy`` for ``horizon`` rounds and return its history.
 
@@ -123,6 +125,14 @@ def run_policy(
         Streaming telemetry sink; offered one ``maybe_flush`` per
         round (only when instrumented) so long runs publish durable
         ``metrics.json`` / ``trace.jsonl`` incrementally.
+    flight:
+        Decision flight recorder (:class:`~repro.obs.flight.
+        FlightRecorder` or :class:`~repro.obs.flight.FlightBuffer`);
+        defaults to the ambient ``obs.flight_recorder``.  When set,
+        the policy captures its decision surface each round and one
+        ``decision`` record per round is appended.  Recording never
+        touches an RNG stream, so rewards are bit-identical with it
+        on or off.
     """
     horizon = horizon if horizon is not None else world.config.horizon
     obs = obs if obs is not None else current()
@@ -131,9 +141,14 @@ def run_policy(
         profile = getattr(obs, "profile_config", None)
     if stream is None:
         stream = getattr(obs, "stream_sink", None)
+    if flight is None:
+        flight = getattr(obs, "flight_recorder", None)
+    recording = flight is not None
     profiling = instrumented and profile is not None
     if instrumented:
         policy.bind_obs(obs)
+    if recording:
+        policy.enable_decision_capture(True)
     env = FaseaEnvironment(world, run_seed=run_seed, obs=obs)
     rewards = np.zeros(horizon)
     arranged_counts = np.zeros(horizon)
@@ -186,6 +201,10 @@ def run_policy(
             elapsed += (mid - start) + (done - resumed)
             rewards[t - 1] = sum(round_rewards)
             arranged_counts[t - 1] = len(arrangement)
+            if recording:
+                flight.record(
+                    decision_record(policy, view, arrangement, round_rewards)
+                )
             if instrumented:
                 record_policy_round(
                     obs,
@@ -208,6 +227,8 @@ def run_policy(
         kendall_steps = np.asarray(steps, dtype=int)
         kendall_taus = np.asarray(taus, dtype=float)
 
+    if recording:
+        policy.enable_decision_capture(False)
     if instrumented:
         obs.counter(policy.obs_name("rounds")).inc(horizon)
     return History(

@@ -1,0 +1,18 @@
+"""FAS015 fixture: schema versions must be module-level constants."""
+
+import json
+
+GOOD_SCHEMA_VERSION = 2
+
+
+def write_good(payload):
+    # Named constant: the reader's compatibility check imports the same name.
+    return json.dumps({"version": GOOD_SCHEMA_VERSION, "payload": payload})
+
+
+def write_bad(payload):
+    return json.dumps({"schema_version": 1, "payload": payload})
+
+
+def write_bad_header():
+    return {"kind": "header", "version": "3"}

@@ -1,4 +1,4 @@
-"""Tests for the fasealint static-analysis subsystem (FAS001-FAS010).
+"""Tests for the fasealint static-analysis subsystem (FAS001-FAS010, FAS015).
 
 Covers: per-rule firing on known-bad fixtures, the golden JSON report,
 pragma suppression at line/file granularity, select/ignore filtering,
@@ -41,6 +41,7 @@ ALL_RULES = (
     "FAS008",
     "FAS009",
     "FAS010",
+    "FAS015",
 )
 
 #: fixture file (relative to CASES) -> (rule id, expected hit count)
@@ -55,6 +56,7 @@ RULE_FIXTURES = {
     "src/fas008_assert.py": ("FAS008", 2),
     "src/repro/fas009_print.py": ("FAS009", 3),
     "src/repro/fas010_wallclock.py": ("FAS010", 5),
+    "src/repro/fas015_schema_literal.py": ("FAS015", 2),
 }
 
 

@@ -18,7 +18,19 @@ import numpy as np
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.ebsn.users import User
 from repro.obs.core import NULL_OBS, InstrumentationLike
+from repro.obs.health import FILL_RATE_SERIES_METRIC
 from repro.oracle.greedy import OracleStats, oracle_greedy
+
+#: Oracle emit-site metric names (FAS016: one constant per name — alert
+#: rules select metrics by name, so typos must be unrepresentable).
+ORACLE_PREFIX = "oracle"
+ORACLE_CALLS_SUFFIX = ".calls"
+ORACLE_CANDIDATES_SUFFIX = ".candidates"
+ORACLE_VISITED_SUFFIX = ".visited"
+ORACLE_CONFLICT_REJECTIONS_SUFFIX = ".conflict_rejections"
+ORACLE_CAPACITY_REJECTIONS_SUFFIX = ".capacity_rejections"
+ORACLE_ARRANGED_SUFFIX = ".arranged"
+ORACLE_FILL_RATE_SUFFIX = ".fill_rate"
 
 
 @dataclass(frozen=True)
@@ -187,15 +199,19 @@ class Policy(abc.ABC):
     def _record_oracle_stats(self, view: RoundView, stats: OracleStats) -> None:
         """Fold one oracle call's diagnostics into the bound registry."""
         obs = self._obs
-        prefix = self.obs_name("oracle")
-        obs.counter(f"{prefix}.calls").inc()
-        obs.counter(f"{prefix}.candidates").inc(stats.candidates)
-        obs.counter(f"{prefix}.visited").inc(stats.visited)
-        obs.counter(f"{prefix}.conflict_rejections").inc(stats.conflict_rejections)
-        obs.counter(f"{prefix}.capacity_rejections").inc(stats.capacity_rejections)
-        obs.counter(f"{prefix}.arranged").inc(stats.arranged)
-        obs.histogram(f"{prefix}.fill_rate").observe(stats.fill_rate)
-        obs.series(f"{prefix}.fill_rate_series").append(
+        prefix = self.obs_name(ORACLE_PREFIX)
+        obs.counter(prefix + ORACLE_CALLS_SUFFIX).inc()
+        obs.counter(prefix + ORACLE_CANDIDATES_SUFFIX).inc(stats.candidates)
+        obs.counter(prefix + ORACLE_VISITED_SUFFIX).inc(stats.visited)
+        obs.counter(prefix + ORACLE_CONFLICT_REJECTIONS_SUFFIX).inc(
+            stats.conflict_rejections
+        )
+        obs.counter(prefix + ORACLE_CAPACITY_REJECTIONS_SUFFIX).inc(
+            stats.capacity_rejections
+        )
+        obs.counter(prefix + ORACLE_ARRANGED_SUFFIX).inc(stats.arranged)
+        obs.histogram(prefix + ORACLE_FILL_RATE_SUFFIX).observe(stats.fill_rate)
+        obs.series(self.obs_name(FILL_RATE_SERIES_METRIC)).append(
             view.time_step, stats.fill_rate
         )
 

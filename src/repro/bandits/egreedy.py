@@ -20,6 +20,11 @@ from repro.obs.flight import rng_fingerprint
 from repro.oracle.greedy import OracleStats
 from repro.oracle.random_order import random_arrangement
 
+#: Emit-site metric names (FAS016).
+EXPLORE_ROUNDS_METRIC = "explore_rounds"
+EXPLOIT_ROUNDS_METRIC = "exploit_rounds"
+EXPLORED_METRIC = "explored"
+
 
 class EpsilonGreedyPolicy(Policy):
     """The paper's eGreedy heuristic.
@@ -62,9 +67,11 @@ class EpsilonGreedyPolicy(Policy):
         obs = self._obs
         if obs.enabled:
             obs.counter(
-                self.obs_name("explore_rounds" if explore else "exploit_rounds")
+                self.obs_name(
+                    EXPLORE_ROUNDS_METRIC if explore else EXPLOIT_ROUNDS_METRIC
+                )
             ).inc()
-            obs.series(self.obs_name("explored")).append(
+            obs.series(self.obs_name(EXPLORED_METRIC)).append(
                 view.time_step, 1.0 if explore else 0.0
             )
         if capture:

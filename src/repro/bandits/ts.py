@@ -24,6 +24,11 @@ from repro.exceptions import ConfigurationError
 from repro.linalg.sampling import RngLike, cholesky_sample, make_rng
 from repro.obs.flight import rng_fingerprint
 
+#: Emit-site metric names (FAS016).
+TS_SAMPLE_NORM_METRIC = "ts_sample_norm"
+TS_SAMPLE_DEVIATION_METRIC = "ts_sample_deviation"
+TS_SAMPLING_WIDTH_METRIC = "ts_sampling_width"
+
 
 class ThompsonSamplingPolicy(Policy):
     """The paper's TS algorithm.
@@ -104,14 +109,14 @@ class ThompsonSamplingPolicy(Policy):
             # The paper conjectures TS fails under FASEA because its
             # posterior noise corrupts every event at once; the sample
             # norm and the deviation from theta^ make that visible.
-            obs.series(self.obs_name("ts_sample_norm")).append(
+            obs.series(self.obs_name(TS_SAMPLE_NORM_METRIC)).append(
                 view.time_step, float(np.linalg.norm(theta_sample))
             )
-            obs.series(self.obs_name("ts_sample_deviation")).append(
+            obs.series(self.obs_name(TS_SAMPLE_DEVIATION_METRIC)).append(
                 view.time_step,
                 float(np.linalg.norm(theta_sample - self.model.theta_hat())),
             )
-            obs.series(self.obs_name("ts_sampling_width")).append(
+            obs.series(self.obs_name(TS_SAMPLING_WIDTH_METRIC)).append(
                 view.time_step, self.sampling_width(view.time_step)
             )
         scores = view.contexts @ theta_sample

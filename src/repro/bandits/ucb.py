@@ -21,6 +21,9 @@ from repro.bandits.base import Policy, RoundView
 from repro.bandits.linear import LinearModel
 from repro.exceptions import ConfigurationError
 
+#: Emit-site metric name (FAS016).
+UCB_WIDTH_METRIC = "ucb_width"
+
 
 class UcbPolicy(Policy):
     """The paper's UCB algorithm.
@@ -59,7 +62,7 @@ class UcbPolicy(Policy):
             widths = self.model.confidence_widths(view.contexts)
             scores = self.model.predict(view.contexts) + self.alpha * widths
             if obs.enabled:
-                obs.series(self.obs_name("ucb_width")).append(
+                obs.series(self.obs_name(UCB_WIDTH_METRIC)).append(
                     view.time_step, float(widths.mean())
                 )
             if capture:

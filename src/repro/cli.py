@@ -79,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
             "follow with 'fasea obs tail <dir>' from another terminal"
         ),
     )
+    run.add_argument(
+        "--health",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="ALERTS_TOML",
+        help=(
+            "enable the learning-health monitor and alert engine (implies "
+            "--obs): online changepoint detectors write health.json and "
+            "rule firings append to alerts.jsonl next to each "
+            "experiment's reports; pass an alerts.toml to replace the "
+            "built-in rules"
+        ),
+    )
 
     quickstart = sub.add_parser("quickstart", help="run a tiny demonstration")
     quickstart.add_argument(
@@ -110,6 +124,20 @@ def build_parser() -> argparse.ArgumentParser:
             "record a decision flight log (decisions.jsonl, implies "
             "--obs); replay with 'fasea obs replay <out>', evaluate "
             "counterfactually with 'fasea obs ope <out> --policy NAME'"
+        ),
+    )
+    quickstart.add_argument(
+        "--health",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="ALERTS_TOML",
+        help=(
+            "enable the learning-health monitor and alert engine (implies "
+            "--obs): writes health.json + alerts.jsonl under --out; "
+            "inspect with 'fasea obs health <out>' or follow live with "
+            "'fasea obs top <out>'; pass an alerts.toml to replace the "
+            "built-in rules"
         ),
     )
     quickstart.add_argument(
@@ -158,6 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "record a decision flight log (decisions.jsonl + telemetry) "
             "into DIR; replay with 'fasea obs replay DIR'"
+        ),
+    )
+    replicate.add_argument(
+        "--health",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="ALERTS_TOML",
+        help=(
+            "enable the learning-health monitor (requires --flight DIR: "
+            "health.json + alerts.jsonl are written there); pass an "
+            "alerts.toml to replace the built-in rules"
         ),
     )
 
@@ -222,16 +262,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _attach_health(obs: "object", health_arg: str, directory: "object"):
+    """Attach the health monitor + alert engine (crash-safe log) to ``obs``.
+
+    ``health_arg`` is the ``--health`` value: an alerts.toml path, or the
+    empty string for the built-in rule set.  Returns ``(monitor, log)``;
+    the caller must ``log.close()`` in its ``finally`` and call
+    :func:`repro.obs.health.persist_health` after the run.
+    """
+    from repro.obs.alerts import (
+        DEFAULT_ALERT_RULES,
+        AlertEngine,
+        AlertLog,
+        load_alert_rules,
+    )
+    from repro.obs.health import HealthMonitor
+
+    rules = load_alert_rules(health_arg) if health_arg else DEFAULT_ALERT_RULES
+    monitor = HealthMonitor()
+    log = AlertLog(directory)
+    obs.health_monitor = monitor
+    obs.alert_engine = AlertEngine(rules, log)
+    return monitor, log
+
+
 def _run_experiments(args: argparse.Namespace) -> int:
     from repro.obs.console import Console
 
     console = Console(quiet=args.quiet)
     profile_every = getattr(args, "profile", None)
     stream_enabled = bool(getattr(args, "stream", False))
+    health_arg = getattr(args, "health", None)
     record_obs = (
         bool(getattr(args, "obs", False))
         or profile_every is not None
         or stream_enabled
+        or health_arg is not None
     )
     ids = list_experiments() if "all" in args.ids else args.ids
     outdir = Path(args.out)
@@ -263,6 +329,12 @@ def _run_experiments(args: argparse.Namespace) -> int:
                 # the live artefacts and the final ones share a home.
                 stream_sink = StreamingSink(outdir / experiment_id, obs)
                 obs.stream_sink = stream_sink
+            health_monitor = None
+            alert_log = None
+            if health_arg is not None:
+                health_monitor, alert_log = _attach_health(
+                    obs, health_arg, outdir / experiment_id
+                )
             try:
                 with obs.span("experiment", experiment_id=experiment_id):
                     with use(obs):
@@ -270,6 +342,8 @@ def _run_experiments(args: argparse.Namespace) -> int:
             finally:
                 if stream_sink is not None:
                     stream_sink.close()
+                if alert_log is not None:
+                    alert_log.close()
         else:
             obs = None
             result = runner(**kwargs)
@@ -280,6 +354,15 @@ def _run_experiments(args: argparse.Namespace) -> int:
 
             persist_run_telemetry(directory, obs)
             console.info(f"[{experiment_id}] telemetry in {directory}")
+            if health_monitor is not None:
+                from repro.obs.health import persist_health
+
+                persist_health(directory, health_monitor)
+                console.info(
+                    f"[{experiment_id}] health events: "
+                    f"{len(health_monitor.events)}, alerts: "
+                    f"{alert_log.num_records}"
+                )
             if profile_every is not None:
                 from repro.obs.profile import Profile, write_profile
 
@@ -315,14 +398,18 @@ def _quickstart(args: argparse.Namespace) -> int:
     profile_every = getattr(args, "profile", None)
     stream_enabled = bool(getattr(args, "stream", False))
     flight_enabled = bool(getattr(args, "flight", False))
+    health_arg = getattr(args, "health", None)
     record_obs = (
         bool(getattr(args, "obs", False))
         or profile_every is not None
         or stream_enabled
         or flight_enabled
+        or health_arg is not None
     )
     stream_sink = None
     flight_recorder = None
+    health_monitor = None
+    alert_log = None
     config = SyntheticConfig.scaled_default(seed=42)
     if record_obs:
         from repro.obs.core import Instrumentation
@@ -354,6 +441,8 @@ def _quickstart(args: argparse.Namespace) -> int:
                 ),
             )
             obs.flight_recorder = flight_recorder
+        if health_arg is not None:
+            health_monitor, alert_log = _attach_health(obs, health_arg, args.out)
     else:
         obs = NULL_OBS
     names = (OPT_KEY, *_QUICKSTART_POLICIES)
@@ -377,6 +466,8 @@ def _quickstart(args: argparse.Namespace) -> int:
             stream_sink.close()
         if flight_recorder is not None:
             flight_recorder.close()
+        if alert_log is not None:
+            alert_log.close()
     opt_history = histories[OPT_KEY]
     console.result("policy     accept_ratio  total_reward  regret_vs_OPT")
     for name in _QUICKSTART_POLICIES:
@@ -393,6 +484,15 @@ def _quickstart(args: argparse.Namespace) -> int:
         console.info(f"telemetry written to {paths['metrics'].parent}")
         if flight_recorder is not None:
             console.info(f"decision flight log in {flight_recorder.path}")
+        if health_monitor is not None:
+            from repro.obs.health import persist_health
+
+            health_path = persist_health(args.out, health_monitor)
+            console.info(
+                f"health log in {health_path} "
+                f"({len(health_monitor.events)} events, "
+                f"{alert_log.num_records} alerts)"
+            )
         if profile_every is not None:
             from repro.obs.profile import Profile, write_profile
 
@@ -414,6 +514,16 @@ def _replicate(args: argparse.Namespace) -> int:
     config = SyntheticConfig.scaled_default().with_overrides(horizon=args.horizon)
     store = RunStore(args.store) if args.store else None
     flight_recorder = None
+    health_monitor = None
+    alert_log = None
+    health_arg = getattr(args, "health", None)
+    if health_arg is not None and not args.flight:
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            "replicate --health requires --flight DIR (health.json and "
+            "alerts.jsonl are written into the flight directory)"
+        )
     obs = NULL_OBS
     if args.flight:
         from repro.obs.core import Instrumentation
@@ -431,6 +541,10 @@ def _replicate(args: argparse.Namespace) -> int:
             ),
         )
         obs.flight_recorder = flight_recorder
+        if health_arg is not None:
+            health_monitor, alert_log = _attach_health(
+                obs, health_arg, args.flight
+            )
     try:
         with use(obs):
             result = replicate_policies(
@@ -445,11 +559,22 @@ def _replicate(args: argparse.Namespace) -> int:
             store.close()
         if flight_recorder is not None:
             flight_recorder.close()
+        if alert_log is not None:
+            alert_log.close()
     if flight_recorder is not None:
         from repro.io.runstore import persist_run_telemetry
 
         persist_run_telemetry(args.flight, obs)
         print(f"decision flight log in {flight_recorder.path}", file=sys.stderr)
+        if health_monitor is not None:
+            from repro.obs.health import persist_health
+
+            persist_health(args.flight, health_monitor)
+            print(
+                f"health log: {len(health_monitor.events)} events, "
+                f"{alert_log.num_records} alerts",
+                file=sys.stderr,
+            )
     rows = [
         [policy, f"{mean:.3f}", f"[{low:.3f}, {high:.3f}]",
          "-" if regret is None else f"{regret:.0f}"]

@@ -1,4 +1,4 @@
-"""The fasealint rule catalogue (FAS001-FAS010, FAS015).
+"""The fasealint rule catalogue (FAS001-FAS010, FAS015-FAS016).
 
 Every rule guards an invariant the FASEA reproduction's headline claims
 depend on — see DESIGN.md §5.7 for the rationale per rule.  Rules are
@@ -833,3 +833,65 @@ class NoInlineSchemaVersionRule(Rule):
                     )
                 )
         return violations
+
+
+# ----------------------------------------------------------------------
+# FAS016 — metric names come from module-level constants
+# ----------------------------------------------------------------------
+@register
+class NoInlineMetricNameRule(Rule):
+    """Metric and series names are a cross-cutting contract: alert
+    rules, dashboards, drop-point analysers and tail filters all select
+    telemetry *by name*.  An inline literal at the emit site —
+    ``obs.counter("env.rounds")`` or ``obs.series(self.obs_name(
+    f"{kind}_width"))`` — lets the emitter and its consumers drift
+    apart on a rename, and a typo silently records under a dead name no
+    rule ever matches.  Emit sites in ``src/`` must pass names built
+    from module-level string constants (concatenation of constants is
+    fine); tests and benchmarks may inline literals (they *assert*
+    names)."""
+
+    rule_id = "FAS016"
+    summary = "metric names in src/ come from module-level constants"
+
+    #: Registry accessors whose first argument names the metric.
+    _EMIT_ATTRS = frozenset({"counter", "gauge", "histogram", "timer", "series"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_src
+
+    def _name_argument(self, node: ast.Call) -> Optional[ast.AST]:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg in ("name", "metric"):
+                return keyword.value
+        return None
+
+    def _is_inline_name(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True
+        return isinstance(node, ast.JoinedStr)
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterable[Violation]:
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            attr = node.func.id
+        else:
+            return ()
+        if attr not in self._EMIT_ATTRS and attr != "obs_name":
+            return ()
+        argument = self._name_argument(node)
+        if argument is None or not self._is_inline_name(argument):
+            return ()
+        kind = "f-string" if isinstance(argument, ast.JoinedStr) else "literal"
+        return [
+            self.violation(
+                ctx,
+                argument,
+                f"inline {kind} metric name at {attr}(...) emit site; name "
+                "it in a module-level *_METRIC constant so alert rules and "
+                "dashboards that select this metric share one definition",
+            )
+        ]

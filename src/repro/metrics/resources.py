@@ -20,6 +20,9 @@ from repro.exceptions import ConfigurationError
 from repro.obs.core import Timer, current
 from repro.simulation.environment import FaseaEnvironment
 
+#: Emit-site metric name (FAS016).
+PEAK_TRACED_BYTES_METRIC = "metrics.peak_traced_bytes"
+
 T = TypeVar("T")
 
 
@@ -71,7 +74,7 @@ def measure_memory(fn: Callable[[], T]) -> Tuple[T, int]:
         tracemalloc.stop()
     obs = current()
     if obs.enabled:
-        obs.gauge("metrics.peak_traced_bytes").set(peak)
+        obs.gauge(PEAK_TRACED_BYTES_METRIC).set(peak)
     return result, peak
 
 

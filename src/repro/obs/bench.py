@@ -457,6 +457,34 @@ def run_smoke_benchmark(
         else 1.0
     )
     directions["flight_replay_drift"] = "exact"
+    # Learning-health cross-check: the detectors and the alert engine
+    # are deterministic functions of the (seeded) run, so the event and
+    # firing counts are stamped ``exact`` — any drift in the detector
+    # math or rule evaluation order trips the compare gate, and the
+    # monitored run's reward must equal the plain run's to the bit.
+    from repro.obs.alerts import DEFAULT_ALERT_RULES, AlertBuffer, AlertEngine
+    from repro.obs.core import Instrumentation
+    from repro.obs.health import HealthMonitor
+
+    health_obs = Instrumentation()
+    health_obs.health_monitor = HealthMonitor()
+    alert_buffer = AlertBuffer()
+    health_obs.alert_engine = AlertEngine(DEFAULT_ALERT_RULES, alert_buffer)
+    health_history = run_policy(
+        make_policy("UCB", dim=dim, seed=1),
+        world,
+        horizon=horizon,
+        run_seed=0,
+        obs=health_obs,
+    )
+    metrics["health_events"] = float(len(health_obs.health_monitor.events))
+    directions["health_events"] = "exact"
+    metrics["health_alert_firings"] = float(len(alert_buffer.records))
+    directions["health_alert_firings"] = "exact"
+    metrics["health_reward_delta"] = float(
+        health_history.total_reward - histories["UCB"].total_reward
+    )
+    directions["health_reward_delta"] = "exact"
     metrics["wall_seconds"] = best_seconds
     directions["wall_seconds"] = "lower"
     return stamp_record("smoke", metrics, directions)

@@ -19,6 +19,16 @@ Verbs over the artefacts written by
 ``tail``
     Live-follow a (possibly still running) run directory: re-render the
     health block whenever the streaming sink rotates ``metrics.json``.
+``health``
+    Per-policy learning-health report: changepoint detections, the
+    capacity-cliff onset/complete rounds and the alert history, from
+    ``health.json`` + ``alerts.jsonl`` (rebuilt offline from
+    ``metrics.json`` when the run did not record them); ``--format
+    json`` and ``--html`` (inline-SVG single file) for machines.
+``top``
+    Curses-free live dashboard: follow the streaming sink and render
+    reward sparklines, detector status and the most recent alerts;
+    ``--once`` renders a single frame for CI.
 ``profile``
     Render a run's deterministic sampling profile as a hottest-first
     table, or emit flamegraph.pl-compatible folded stacks
@@ -53,10 +63,8 @@ from repro.exceptions import ConfigurationError
 from repro.obs.console import Console
 from repro.obs.core import MetricsSnapshot
 from repro.obs.export import snapshot_from_json, to_prometheus_text
+from repro.obs.health import EXHAUSTION_SUFFIX, drop_point_rows
 from repro.obs.trace import read_trace_jsonl, span_tree_lines
-
-#: Suffix of the per-policy exhaustion series (see ``record_policy_round``).
-EXHAUSTION_SUFFIX = ".capacity_exhausted"
 
 
 # ----------------------------------------------------------------------
@@ -103,27 +111,11 @@ def _resolve_decisions_path(target: Union[str, Path]) -> Optional[Path]:
 def exhaustion_rows(snapshot: MetricsSnapshot) -> List[Tuple[str, int, int]]:
     """``(policy, event_id, round)`` rows, one per drained event.
 
-    Derived from the ``policy.<label>.capacity_exhausted`` series where
-    each point is ``(round, event_id)``; the *first* round an event is
-    reported drained wins (re-runs merged into one snapshot may repeat
-    it).
+    Delegates to :func:`repro.obs.health.drop_point_rows` — the single
+    drop-point implementation shared with the online capacity-cliff
+    detector, so the summary table and ``health.json`` always agree.
     """
-    rows: List[Tuple[str, int, int]] = []
-    for name, points in sorted(snapshot.series.items()):
-        if not (name.startswith("policy.") and name.endswith(EXHAUSTION_SUFFIX)):
-            continue
-        label = name[len("policy.") : -len(EXHAUSTION_SUFFIX)]
-        first_round: Dict[int, int] = {}
-        for step, value in points:
-            event_id = int(value)
-            step = int(step)
-            if event_id not in first_round or step < first_round[event_id]:
-                first_round[event_id] = step
-        rows.extend(
-            (label, event_id, round_)
-            for event_id, round_ in sorted(first_round.items())
-        )
-    return rows
+    return drop_point_rows(snapshot)
 
 
 def _histogram_digest(payload: Dict[str, Any]) -> Tuple[int, float, float]:
@@ -380,6 +372,50 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
     tail.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
 
+    health = verbs.add_parser(
+        "health",
+        help="per-policy learning-health report (detections + alerts)",
+    )
+    health.add_argument(
+        "target", help="run directory (health.json / alerts.jsonl / metrics.json)"
+    )
+    health.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="output format (json is the raw health document + alerts)",
+    )
+    health.add_argument(
+        "--html",
+        default=None,
+        metavar="FILE",
+        help="also write a single-file inline-SVG HTML report to FILE",
+    )
+    health.add_argument(
+        "--quiet", action="store_true", help="suppress human-readable chrome"
+    )
+
+    top = verbs.add_parser(
+        "top",
+        help="live terminal dashboard following a (running) run directory",
+    )
+    top.add_argument("target", help="run directory to follow")
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval in seconds"
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (CI mode)",
+    )
+    top.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop after this many frames (default: follow forever)",
+    )
+    top.add_argument("--quiet", action="store_true", help=argparse.SUPPRESS)
+
     profile = verbs.add_parser(
         "profile", help="render a run's sampling profile"
     )
@@ -524,6 +560,10 @@ def run_obs(args: argparse.Namespace, console: Optional[Console] = None) -> int:
             return _diff(args, console)
         if args.obs_command == "tail":
             return _tail(args, console)
+        if args.obs_command == "health":
+            return _health(args, console)
+        if args.obs_command == "top":
+            return _top(args, console)
         if args.obs_command == "profile":
             return _profile(args, console)
         if args.obs_command == "bench":
@@ -607,6 +647,45 @@ def _tail(args: argparse.Namespace, console: Console) -> int:
 
     max_updates = 1 if args.once else args.max_updates
     return run_tail(
+        args.target, console, interval=args.interval, max_updates=max_updates
+    )
+
+
+def _health(args: argparse.Namespace, console: Console) -> int:
+    import json
+
+    from repro.obs.alerts import load_alerts
+    from repro.obs.dashboard import (
+        load_health_document,
+        render_health_text,
+        write_health_html,
+    )
+
+    payload = load_health_document(args.target)
+    alerts = load_alerts(args.target, strict=False)
+    if args.format == "json":
+        document = dict(payload)
+        document["alerts"] = alerts
+        console.data(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        console.info(f"health: {args.target}")
+        console.result(render_health_text(payload, alerts))
+    if args.html:
+        snapshot: Optional[MetricsSnapshot] = None
+        try:
+            snapshot = load_snapshot(args.target)
+        except ConfigurationError:
+            pass
+        path = write_health_html(args.html, payload, alerts, snapshot)
+        console.info(f"html report in {path}")
+    return 0
+
+
+def _top(args: argparse.Namespace, console: Console) -> int:
+    from repro.obs.dashboard import run_top
+
+    max_updates = 1 if args.once else args.max_updates
+    return run_top(
         args.target, console, interval=args.interval, max_updates=max_updates
     )
 

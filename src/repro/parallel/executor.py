@@ -34,10 +34,28 @@ from repro.obs.flight import FlightBuffer
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Executor emit-site metric names (FAS016).
+CELL_SECONDS_METRIC = "parallel.cell_seconds"
+QUEUE_LATENCY_METRIC = "parallel.queue_latency_seconds"
+CELL_WALL_SECONDS_METRIC = "parallel.cell_wall_seconds"
+WORKERS_METRIC = "parallel.workers"
+UNITS_METRIC = "parallel.units"
 
-def _run_unit_instrumented(
-    payload: Tuple[Callable[[Any], Any], Any, int, float, bool],
-) -> Tuple[Any, MetricsSnapshot, List[Dict[str, Any]], List[Dict[str, Any]]]:
+#: Worker payload / result shapes (kept as plain tuples for pickling).
+_WorkerPayload = Tuple[
+    Callable[[Any], Any], Any, int, float, bool, Optional[Any], Optional[Any]
+]
+_WorkerResult = Tuple[
+    Any,
+    MetricsSnapshot,
+    List[Dict[str, Any]],
+    List[Dict[str, Any]],
+    List[Dict[str, Any]],
+    List[Dict[str, Any]],
+]
+
+
+def _run_unit_instrumented(payload: _WorkerPayload) -> _WorkerResult:
     """Worker-side wrapper: run one unit under a fresh registry.
 
     Each worker activates its own :class:`Instrumentation` so anything
@@ -50,28 +68,58 @@ def _run_unit_instrumented(
     worker records into an in-memory :class:`FlightBuffer` whose
     records return with the result; the parent appends them to the
     real log in submission order — ``decisions.jsonl`` is therefore
-    byte-identical for every worker count.
+    byte-identical for every worker count.  The health monitor and
+    alert engine travel the same way: the worker runs a fresh
+    :class:`~repro.obs.health.HealthMonitor` / in-memory
+    :class:`~repro.obs.alerts.AlertEngine` and ships their events and
+    firings back for a submission-order drain — ``alerts.jsonl`` and
+    the health log are byte-identical for every worker count.
 
     Queue latency is measured with the wall clock
     (:func:`repro.obs.clock.wall_time`): ``perf_counter`` origins are
     not comparable across processes.
     """
-    fn, unit, index, submitted_at, flight_enabled = payload
+    fn, unit, index, submitted_at, flight_enabled, health_config, rules = payload
     worker_obs = Instrumentation()
     if flight_enabled:
         worker_obs.flight_recorder = FlightBuffer()
+    if health_config is not None:
+        from repro.obs.health import HealthMonitor
+
+        worker_obs.health_monitor = HealthMonitor(health_config)
+    if rules is not None:
+        from repro.obs.alerts import AlertBuffer, AlertEngine
+
+        worker_obs.alert_engine = AlertEngine(rules, AlertBuffer())
     queue_latency = max(0.0, wall_time() - submitted_at)
     with use(worker_obs):
         start = time.perf_counter()
         result = fn(unit)
         wall = time.perf_counter() - start
-    worker_obs.timer("parallel.cell_seconds").observe(wall)
-    worker_obs.timer("parallel.queue_latency_seconds").observe(queue_latency)
-    worker_obs.series("parallel.cell_wall_seconds").append(index, wall)
+    worker_obs.timer(CELL_SECONDS_METRIC).observe(wall)
+    worker_obs.timer(QUEUE_LATENCY_METRIC).observe(queue_latency)
+    worker_obs.series(CELL_WALL_SECONDS_METRIC).append(index, wall)
     flight_records: List[Dict[str, Any]] = (
         worker_obs.flight_recorder.records if flight_enabled else []
     )
-    return result, worker_obs.snapshot(), worker_obs.trace_records(), flight_records
+    health_events: List[Dict[str, Any]] = (
+        worker_obs.health_monitor.events
+        if worker_obs.health_monitor is not None
+        else []
+    )
+    alert_records: List[Dict[str, Any]] = (
+        worker_obs.alert_engine.sink.records
+        if worker_obs.alert_engine is not None
+        else []
+    )
+    return (
+        result,
+        worker_obs.snapshot(),
+        worker_obs.trace_records(),
+        flight_records,
+        health_events,
+        alert_records,
+    )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -147,13 +195,22 @@ def _run_serial_instrumented(
     fn: Callable[[T], R], units: List[T], obs: Any
 ) -> List[R]:
     """Inline execution with per-cell timing (registry already current)."""
-    obs.gauge("parallel.workers").set(1)
-    obs.counter("parallel.units").inc(len(units))
-    timer = obs.timer("parallel.cell_seconds")
-    series = obs.series("parallel.cell_wall_seconds")
+    obs.gauge(WORKERS_METRIC).set(1)
+    obs.counter(UNITS_METRIC).inc(len(units))
+    timer = obs.timer(CELL_SECONDS_METRIC)
+    series = obs.series(CELL_WALL_SECONDS_METRIC)
+    monitor = getattr(obs, "health_monitor", None)
+    engine = getattr(obs, "alert_engine", None)
     results: List[R] = []
     with obs.span("run_work_units", jobs=1, units=len(units)):
         for index, unit in enumerate(units):
+            # Work-unit boundary: reset detector state and re-baseline
+            # the alert windows so a cell sees only its own telemetry —
+            # exactly what a parallel worker's fresh registry sees.
+            if monitor is not None:
+                monitor.begin_cell()
+            if engine is not None:
+                engine.begin_cell(obs)
             start = time.perf_counter()
             results.append(fn(unit))
             wall = time.perf_counter() - start
@@ -166,22 +223,41 @@ def _run_pool_instrumented(
     fn: Callable[[T], R], units: List[T], workers: int, obs: Any
 ) -> List[R]:
     """Pool execution with worker-side registries merged in unit order."""
-    obs.gauge("parallel.workers").set(workers)
-    obs.counter("parallel.units").inc(len(units))
+    obs.gauge(WORKERS_METRIC).set(workers)
+    obs.counter(UNITS_METRIC).inc(len(units))
     flight = getattr(obs, "flight_recorder", None)
+    monitor = getattr(obs, "health_monitor", None)
+    engine = getattr(obs, "alert_engine", None)
+    health_config = monitor.config if monitor is not None else None
+    rules = engine.rules if engine is not None else None
     results: List[R] = []
     with obs.span("run_work_units", jobs=workers, units=len(units)):
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
                     _run_unit_instrumented,
-                    (fn, unit, index, wall_time(), flight is not None),
+                    (
+                        fn,
+                        unit,
+                        index,
+                        wall_time(),
+                        flight is not None,
+                        health_config,
+                        rules,
+                    ),
                 )
                 for index, unit in enumerate(units)
             ]
             for index, future in enumerate(futures):
                 try:
-                    result, snapshot, trace, flight_records = future.result()
+                    (
+                        result,
+                        snapshot,
+                        trace,
+                        flight_records,
+                        health_events,
+                        alert_records,
+                    ) = future.result()
                 except Exception as error:
                     for pending in futures[index + 1 :]:
                         pending.cancel()
@@ -194,5 +270,9 @@ def _run_pool_instrumented(
                 obs.merge_trace(trace)
                 if flight is not None:
                     flight.extend(flight_records)
+                if monitor is not None:
+                    monitor.extend(health_events)
+                if engine is not None:
+                    engine.absorb(alert_records)
                 results.append(result)
     return results

@@ -28,6 +28,12 @@ from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
 from repro.obs.core import InstrumentationLike, current
 
+#: Emit-site metric names (FAS016).
+ENV_ROUNDS_METRIC = "env.rounds"
+ENV_COMMITS_METRIC = "env.commits"
+ENV_ARRANGED_EVENTS_METRIC = "env.arranged_events"
+ENV_ACCEPTED_EVENTS_METRIC = "env.accepted_events"
+
 
 class FaseaEnvironment:
     """One run's worth of platform state and random streams.
@@ -70,7 +76,7 @@ class FaseaEnvironment:
                 "begin_round called twice without an intervening commit"
             )
         if self._obs.enabled:
-            self._obs.counter("env.rounds").inc()
+            self._obs.counter(ENV_ROUNDS_METRIC).inc()
         user = self._arrivals.next_user()
         contexts = self._sampler.sample(self._context_rng)
         thresholds = self._feedback_rng.uniform(size=self.num_events)
@@ -112,8 +118,8 @@ class FaseaEnvironment:
         )
         obs = self._obs
         if obs.enabled:
-            obs.counter("env.commits").inc()
-            obs.counter("env.arranged_events").inc(len(arranged))
-            obs.counter("env.accepted_events").inc(len(entry.accepted))
+            obs.counter(ENV_COMMITS_METRIC).inc()
+            obs.counter(ENV_ARRANGED_EVENTS_METRIC).inc(len(arranged))
+            obs.counter(ENV_ACCEPTED_EVENTS_METRIC).inc(len(entry.accepted))
         rewards = accepted_mask.astype(float).tolist()
         return rewards, entry

@@ -76,6 +76,7 @@ def run_policy_fleet(
         flight = getattr(obs, "flight_recorder", None)
     recording = flight is not None
     profiling = instrumented and profile is not None
+    engine = getattr(obs, "alert_engine", None) if instrumented else None
     if instrumented or recording:
         # Recording needs the label too: the "policy" field of each
         # decision record is the fleet key, not the algorithm name.
@@ -184,6 +185,10 @@ def run_policy_fleet(
             else:
                 for name, policy in policies.items():
                     _step(name, policy, t, user, contexts, accepts)
+            if engine is not None:
+                # After every policy's step: one alert evaluation per
+                # round keeps firings flush-cadence-independent.
+                engine.evaluate_round(obs, t)
             if instrumented and stream is not None:
                 stream.maybe_flush(1)
 

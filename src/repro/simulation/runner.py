@@ -30,10 +30,22 @@ from repro.ebsn.ledger import LedgerEntry
 from repro.metrics.kendall import kendall_tau
 from repro.obs.core import InstrumentationLike, current
 from repro.obs.flight import decision_record
+from repro.obs.health import (
+    CAPACITY_EXHAUSTED_METRIC,
+    FILL_RATE_SERIES_METRIC,
+    REWARD_METRIC,
+    THETA_DRIFT_METRIC,
+)
 from repro.obs.profile import ProfileConfig
 from repro.obs.stream import StreamingSink
 from repro.simulation.environment import FaseaEnvironment
 from repro.simulation.history import History, default_checkpoints
+
+#: Per-policy emit-site metric names (FAS016: names are constants so
+#: alert selectors cannot silently miss a typo'd emit site).
+SELECT_SECONDS_METRIC = "select_seconds"
+OBSERVE_SECONDS_METRIC = "observe_seconds"
+ROUNDS_METRIC = "rounds"
 
 
 def record_policy_round(
@@ -54,25 +66,42 @@ def record_policy_round(
     capacity-exhaustion event whenever an accepted registration drains
     an event's last seat.  Never touches any RNG stream.
     """
-    obs.timer(policy.obs_name("select_seconds")).observe(select_seconds)
-    obs.timer(policy.obs_name("observe_seconds")).observe(observe_seconds)
-    obs.series(policy.obs_name("reward")).append(time_step, float(entry.reward))
+    obs.timer(policy.obs_name(SELECT_SECONDS_METRIC)).observe(select_seconds)
+    obs.timer(policy.obs_name(OBSERVE_SECONDS_METRIC)).observe(observe_seconds)
+    reward = float(entry.reward)
+    obs.series(policy.obs_name(REWARD_METRIC)).append(time_step, reward)
+    drift: Optional[float] = None
     estimate = policy.theta_estimate()
     if estimate is not None:
-        obs.series(policy.obs_name("theta_drift")).append(
-            time_step, float(np.linalg.norm(estimate - theta_true))
-        )
+        drift = float(np.linalg.norm(estimate - theta_true))
+        obs.series(policy.obs_name(THETA_DRIFT_METRIC)).append(time_step, drift)
+    label = policy._obs_label or policy.name
+    monitor = getattr(obs, "health_monitor", None)
+    num_events = len(store)
     for event_id in entry.accepted:
         if store.remaining(event_id) <= 0.0:
-            obs.series(policy.obs_name("capacity_exhausted")).append(
+            obs.series(policy.obs_name(CAPACITY_EXHAUSTED_METRIC)).append(
                 time_step, float(event_id)
             )
             obs.event(
-                "capacity_exhausted",
-                policy=policy._obs_label or policy.name,
+                CAPACITY_EXHAUSTED_METRIC,
+                policy=label,
                 event_id=int(event_id),
                 time_step=time_step,
             )
+            if monitor is not None:
+                monitor.observe_exhaustion(
+                    obs, label, time_step, int(event_id), num_events
+                )
+    if monitor is not None:
+        fill_rate: Optional[float] = None
+        fill_series = getattr(obs, "get_metric", None)
+        if fill_series is not None:
+            metric = obs.get_metric(policy.obs_name(FILL_RATE_SERIES_METRIC))
+            points = getattr(metric, "points", None)
+            if points and points[-1][0] == time_step:
+                fill_rate = float(points[-1][1])
+        monitor.observe_round(obs, label, time_step, reward, drift, fill_rate)
 
 
 def run_policy(
@@ -145,6 +174,7 @@ def run_policy(
         flight = getattr(obs, "flight_recorder", None)
     recording = flight is not None
     profiling = instrumented and profile is not None
+    engine = getattr(obs, "alert_engine", None) if instrumented else None
     if instrumented:
         policy.bind_obs(obs)
     if recording:
@@ -216,6 +246,8 @@ def run_policy(
                     mid - start,
                     done - resumed,
                 )
+                if engine is not None:
+                    engine.evaluate_round(obs, t)
                 if stream is not None:
                     stream.maybe_flush(1)
             if t in checkpoint_set and true_ranking_scores is not None:
@@ -230,7 +262,7 @@ def run_policy(
     if recording:
         policy.enable_decision_capture(False)
     if instrumented:
-        obs.counter(policy.obs_name("rounds")).inc(horizon)
+        obs.counter(policy.obs_name(ROUNDS_METRIC)).inc(horizon)
     return History(
         policy_name=policy.name,
         rewards=rewards,

@@ -1,0 +1,19 @@
+"""FAS016 fixture: metric names must be module-level constants."""
+
+GOOD_METRIC = "env.rounds"
+GOOD_SUFFIX = ".calls"
+
+
+class Emitter:
+    def obs_name(self, metric):
+        return "policy.X." + metric
+
+    def record(self, obs, kind):
+        # Named constant and constant concatenation: consumers import
+        # the same names, so both pass.
+        obs.counter(GOOD_METRIC).inc()
+        obs.counter(GOOD_METRIC + GOOD_SUFFIX).inc()
+        obs.counter("env.commits").inc()
+        obs.series(self.obs_name("explored")).append(1, 0.0)
+        obs.gauge(name="peak_bytes").set(1.0)
+        obs.timer(f"{kind}_seconds").observe(0.1)

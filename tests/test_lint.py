@@ -1,4 +1,4 @@
-"""Tests for the fasealint static-analysis subsystem (FAS001-FAS010, FAS015).
+"""Tests for the fasealint static-analysis subsystem (FAS001-FAS010, FAS015-FAS016).
 
 Covers: per-rule firing on known-bad fixtures, the golden JSON report,
 pragma suppression at line/file granularity, select/ignore filtering,
@@ -42,6 +42,7 @@ ALL_RULES = (
     "FAS009",
     "FAS010",
     "FAS015",
+    "FAS016",
 )
 
 #: fixture file (relative to CASES) -> (rule id, expected hit count)
@@ -57,6 +58,7 @@ RULE_FIXTURES = {
     "src/repro/fas009_print.py": ("FAS009", 3),
     "src/repro/fas010_wallclock.py": ("FAS010", 5),
     "src/repro/fas015_schema_literal.py": ("FAS015", 2),
+    "src/repro/fas016_metric_literal.py": ("FAS016", 4),
 }
 
 

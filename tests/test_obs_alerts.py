@@ -1,0 +1,329 @@
+"""Deterministic alert engine guarantees.
+
+The tentpole promises, tested directly: rules parse from alerts.toml
+(tomllib and the dependency-free fallback agree), evaluation is
+edge-triggered per round with cooldowns and per-cell baselines, the
+crash-safe log follows the flight-recorder discipline, and a parallel
+run's ``alerts.jsonl`` is byte-identical to the serial one.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.exceptions import ConfigurationError
+from repro.obs.alerts import (
+    ALERTS_FILENAME,
+    ALERTS_SCHEMA_VERSION,
+    DEFAULT_ALERT_RULES,
+    AlertBuffer,
+    AlertEngine,
+    AlertLog,
+    AlertRule,
+    _parse_toml_subset,
+    alert_line,
+    load_alert_rules,
+    load_alerts,
+    rules_from_payload,
+)
+from repro.obs.core import Instrumentation, use
+from repro.obs.health import CAPACITY_CLIFF_DETECTOR, HealthMonitor, health_event
+from repro.parallel import PolicyRunCell, run_policy_run_cell, run_work_units
+
+SAMPLE_TOML = """\
+# Capacity cliff: the paper's regret-drop diagnostic.
+[[alert]]
+name = "cliff"
+detector = "capacity_cliff"
+severity = "warning"
+policy = "OPT*"
+
+[[alert]]
+name = "reward-floor"          # trailing comment with "quotes # inside"
+metric = "policy.*.reward"
+aggregate = "mean"
+window = 5
+op = "lt"
+value = 0.25
+cooldown = 10
+severity = "critical"
+"""
+
+
+# ----------------------------------------------------------------------
+# Rule validation and parsing
+# ----------------------------------------------------------------------
+def test_rule_requires_exactly_one_of_metric_or_detector():
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="both", metric="x", op="gt", value=1.0, detector="cusum")
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="neither")
+
+
+def test_rule_field_validation():
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="r", metric="x", op="nope", value=1.0)
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="r", metric="x", op="gt")  # no threshold
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="r", metric="x", op="gt", value=1.0, aggregate="median")
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="r", metric="x", op="gt", value=1.0, window=0)
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="r", detector="not_a_detector")
+    with pytest.raises(ConfigurationError):
+        AlertRule(name="r", detector="cusum", severity="panic")
+
+
+def test_rules_from_payload_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError, match="unknown"):
+        rules_from_payload({"alert": [{"name": "r", "detector": "cusum", "oops": 1}]})
+    with pytest.raises(ConfigurationError, match="no .?.?alert"):
+        rules_from_payload({"alert": []})
+
+
+def test_load_alert_rules_parses_toml(tmp_path):
+    path = tmp_path / "alerts.toml"
+    path.write_text(SAMPLE_TOML)
+    rules = load_alert_rules(path)
+    assert [rule.name for rule in rules] == ["cliff", "reward-floor"]
+    assert rules[0].detector == CAPACITY_CLIFF_DETECTOR
+    assert rules[0].policy == "OPT*"
+    assert rules[1].window == 5 and rules[1].cooldown == 10
+    assert rules[1].value == 0.25 and rules[1].op == "lt"
+
+
+def test_fallback_parser_agrees_with_tomllib():
+    import tomllib
+
+    assert _parse_toml_subset(SAMPLE_TOML) == tomllib.loads(SAMPLE_TOML)
+
+
+def test_fallback_parser_rejects_what_it_cannot_read():
+    with pytest.raises(ConfigurationError, match="only"):
+        _parse_toml_subset("[other]\nname = 1\n")
+    with pytest.raises(ConfigurationError, match="key = value"):
+        _parse_toml_subset("name = 1\n")  # key before any [[alert]]
+    with pytest.raises(ConfigurationError, match="cannot parse"):
+        _parse_toml_subset('[[alert]]\nname = {nested = 1}\n')
+
+
+def test_load_alert_rules_missing_file(tmp_path):
+    with pytest.raises(ConfigurationError, match="no alert rules"):
+        load_alert_rules(tmp_path / "nope.toml")
+
+
+def test_default_rules_include_the_capacity_exhaustion_alert():
+    by_name = {rule.name: rule for rule in DEFAULT_ALERT_RULES}
+    assert by_name["capacity-exhaustion"].detector == CAPACITY_CLIFF_DETECTOR
+    assert by_name["reward-collapse"].severity == "critical"
+
+
+# ----------------------------------------------------------------------
+# Engine semantics
+# ----------------------------------------------------------------------
+def _engine(*rules):
+    buffer = AlertBuffer()
+    return AlertEngine(rules, buffer), buffer
+
+
+def test_metric_rule_is_edge_triggered():
+    engine, buffer = _engine(
+        AlertRule(name="hot", metric="temp", op="gt", value=10.0)
+    )
+    obs = Instrumentation()
+    gauge = obs.gauge("temp")
+    for round_, value in enumerate([5.0, 20.0, 30.0, 5.0, 25.0], start=1):
+        gauge.set(value)
+        engine.evaluate_round(obs, round_)
+    # Fires on each false->true transition only: rounds 2 and 5.
+    assert [r["round"] for r in buffer.records] == [2, 5]
+    record = buffer.records[0]
+    assert record["schema_version"] == ALERTS_SCHEMA_VERSION
+    assert record["rule"] == "hot" and record["value"] == 20.0
+
+
+def test_cooldown_spaces_re_firings():
+    engine, buffer = _engine(
+        AlertRule(name="hot", metric="temp", op="gt", value=10.0, cooldown=5)
+    )
+    obs = Instrumentation()
+    gauge = obs.gauge("temp")
+    values = [20.0, 5.0, 20.0, 5.0, 20.0, 5.0, 20.0]
+    for round_, value in enumerate(values, start=1):
+        gauge.set(value)
+        engine.evaluate_round(obs, round_)
+    # Transitions at rounds 1, 3, 5, 7 — but <5 rounds apart are muted.
+    assert [r["round"] for r in buffer.records] == [1, 7]
+
+
+def test_series_window_minimum_guard():
+    engine, buffer = _engine(
+        AlertRule(
+            name="low", metric="reward", op="lt", value=0.5,
+            aggregate="mean", window=3,
+        )
+    )
+    obs = Instrumentation()
+    series = obs.series("reward")
+    for round_ in range(1, 3):
+        series.append(round_, 0.0)
+        engine.evaluate_round(obs, round_)
+    assert buffer.records == []  # fewer than `window` points: not evaluable
+    series.append(3, 0.0)
+    engine.evaluate_round(obs, 3)
+    assert [r["round"] for r in buffer.records] == [3]
+
+
+def test_count_aggregate_needs_no_window_fill():
+    engine, buffer = _engine(
+        AlertRule(
+            name="any-drain", metric="drained", op="ge", value=1.0,
+            aggregate="count",
+        )
+    )
+    obs = Instrumentation()
+    obs.series("drained").append(4, 2.0)
+    engine.evaluate_round(obs, 4)
+    assert [r["round"] for r in buffer.records] == [4]
+
+
+def test_counter_windows_are_cell_local():
+    engine, buffer = _engine(
+        AlertRule(name="calls", metric="oracle.calls", op="gt", value=2.0)
+    )
+    obs = Instrumentation()
+    counter = obs.counter("oracle.calls")
+    counter.inc(3)
+    engine.evaluate_round(obs, 1)
+    assert len(buffer.records) == 1
+    # A new cell re-baselines: the counter's absolute value no longer
+    # counts, only what this cell adds — like a worker's fresh registry.
+    engine.begin_cell(obs)
+    counter.inc(1)
+    engine.evaluate_round(obs, 1)
+    assert len(buffer.records) == 1
+
+
+def test_detector_rule_fires_on_matching_health_events():
+    engine, buffer = _engine(
+        AlertRule(name="cliff", detector=CAPACITY_CLIFF_DETECTOR, policy="OPT")
+    )
+    obs = Instrumentation()
+    obs.health_monitor = HealthMonitor()
+    obs.health_monitor.extend([
+        health_event(
+            CAPACITY_CLIFF_DETECTOR, "OPT", "capacity_exhausted", 2, 5.0, "onset"
+        ),
+        health_event(
+            CAPACITY_CLIFF_DETECTOR, "UCB", "capacity_exhausted", 9, 1.0, "onset"
+        ),
+        health_event("cusum", "OPT", "reward", 30, 0.0, "down"),
+    ])
+    engine.evaluate_round(obs, 30)
+    assert len(buffer.records) == 1
+    record = buffer.records[0]
+    assert record["policy"] == "OPT" and record["round"] == 2
+    assert record["direction"] == "onset"
+    # The cursor advanced: re-evaluating does not re-fire old events.
+    engine.evaluate_round(obs, 31)
+    assert len(buffer.records) == 1
+
+
+def test_engine_requires_rules():
+    with pytest.raises(ConfigurationError):
+        AlertEngine(())
+
+
+# ----------------------------------------------------------------------
+# The crash-safe log
+# ----------------------------------------------------------------------
+def test_alert_line_serializes_with_sorted_keys():
+    assert alert_line({"b": 1, "a": 2}) == '{"a": 2, "b": 1}'
+
+
+def test_alert_log_truncates_and_appends(tmp_path):
+    (tmp_path / ALERTS_FILENAME).write_text('{"kind": "stale"}\n')
+    with AlertLog(tmp_path) as log:
+        log.record({"kind": "alert", "round": 1})
+        log.extend([{"kind": "alert", "round": 2}])
+        assert log.num_records == 2
+    assert load_alerts(tmp_path) == [
+        {"kind": "alert", "round": 1},
+        {"kind": "alert", "round": 2},
+    ]
+
+
+def test_alert_log_refuses_use_after_close(tmp_path):
+    log = AlertLog(tmp_path)
+    log.close()
+    with pytest.raises(ConfigurationError):
+        log.record({"kind": "alert"})
+    with pytest.raises(ConfigurationError):
+        AlertLog(tmp_path, fsync_every_records=0)
+
+
+def test_load_alerts_recovers_longest_valid_prefix(tmp_path):
+    path = tmp_path / ALERTS_FILENAME
+    lines = [json.dumps({"round": i}) for i in range(3)]
+    path.write_text("\n".join(lines) + '\n{"round": 3, "trunc')
+    with pytest.raises(Exception):
+        load_alerts(tmp_path)  # strict: a torn tail is an error
+    recovered = load_alerts(tmp_path, strict=False)
+    assert recovered == [{"round": 0}, {"round": 1}, {"round": 2}]
+
+
+def test_load_alerts_missing_log_reads_empty(tmp_path):
+    assert load_alerts(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# Serial vs parallel byte-identity
+# ----------------------------------------------------------------------
+EXHAUST_CONFIG = SyntheticConfig(
+    num_events=6,
+    horizon=40,
+    dim=3,
+    capacity_mean=2.0,
+    capacity_std=1.0,
+    conflict_ratio=0.0,
+    seed=1,
+)
+
+
+def _alert_run(directory, jobs):
+    obs = Instrumentation()
+    obs.health_monitor = HealthMonitor()
+    log = AlertLog(directory)
+    obs.alert_engine = AlertEngine(DEFAULT_ALERT_RULES, log)
+    cells = [
+        PolicyRunCell(
+            config=EXHAUST_CONFIG,
+            policy_name=name,
+            horizon=40,
+            run_seed=0,
+            policy_seed=3,
+        )
+        for name in ("OPT", "UCB", "eGreedy")
+    ]
+    try:
+        with use(obs):
+            run_work_units(run_policy_run_cell, cells, jobs=jobs)
+    finally:
+        log.close()
+    return obs
+
+
+def test_parallel_alert_log_is_byte_identical_to_serial(tmp_path):
+    serial_obs = _alert_run(tmp_path / "serial", jobs=1)
+    pool_obs = _alert_run(tmp_path / "pool", jobs=2)
+    serial = (tmp_path / "serial" / ALERTS_FILENAME).read_bytes()
+    pooled = (tmp_path / "pool" / ALERTS_FILENAME).read_bytes()
+    assert serial == pooled
+    # The tiny world exhausts under OPT, so the gate is non-vacuous.
+    assert any(
+        record["rule"] == "capacity-exhaustion"
+        for record in load_alerts(tmp_path / "serial")
+    )
+    assert serial_obs.health_monitor.events == pool_obs.health_monitor.events

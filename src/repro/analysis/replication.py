@@ -9,15 +9,27 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.bootstrap import bootstrap_mean_ci
 from repro.bandits import POLICY_NAMES, OptPolicy, make_policy
 from repro.datasets.synthetic import SyntheticConfig, build_world
 from repro.exceptions import ConfigurationError
+from repro.io.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CellCheckpointSpec,
+    ExecutorCheckpoint,
+)
 from repro.io.runstore import RunStore
 from repro.obs.core import current
-from repro.parallel import ReplicationCell, resolve_jobs, run_replication_cell, run_work_units
+from repro.parallel import (
+    ReplicationCell,
+    UnitFailure,
+    resolve_jobs,
+    run_replication_cell,
+    run_work_units,
+)
 from repro.simulation.history import History
 from repro.simulation.runner import run_policy
 
@@ -32,6 +44,10 @@ class ReplicationResult:
     #: policy -> list of per-seed values.
     accept_ratios: Dict[str, List[float]] = field(default_factory=dict)
     total_regrets: Dict[str, List[float]] = field(default_factory=dict)
+    #: seed -> failure placeholder (``keep_going`` runs only): these
+    #: seeds contribute nothing to the aggregates above, so confidence
+    #: intervals are over the surviving seeds.
+    failures: Dict[int, UnitFailure] = field(default_factory=dict)
 
     def accept_ratio_ci(
         self, policy: str, confidence: float = 0.95
@@ -78,6 +94,12 @@ def replicate_policies(
     store: Optional[RunStore] = None,
     experiment: str = "replication",
     jobs: Optional[int] = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    keep_going: bool = False,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
 ) -> ReplicationResult:
     """Run each policy on every seed; optionally log into a RunStore.
 
@@ -90,6 +112,16 @@ def replicate_policies(
     the cells independent, so the merged metrics are **identical** to
     ``jobs=1`` — only wall clock changes.  RunStore logging always
     happens in the parent process, in seed order.
+
+    ``timeout``/``retries``/``keep_going`` are the executor's fault-
+    tolerance controls (see :func:`repro.parallel.run_work_units`);
+    with ``keep_going`` a crashed seed lands in ``result.failures``
+    and the surviving seeds still aggregate.  ``checkpoint_dir``
+    enables crash recovery: every cell saves a round-granular
+    checkpoint every ``checkpoint_every`` rounds and every finished
+    cell's result is cached, so ``resume=True`` replays finished seeds
+    bit-identically and continues the interrupted one from its last
+    saved round.
     """
     seeds = tuple(seeds)
     if not seeds:
@@ -102,7 +134,16 @@ def replicate_policies(
     # runner; take the cells path even serially so the record order
     # (and thus decisions.jsonl) is byte-identical for every --jobs.
     recording = getattr(current(), "flight_recorder", None) is not None
-    if resolve_jobs(jobs) > 1 or recording:
+    checkpointing = checkpoint_dir is not None
+    fault_tolerant = (
+        checkpointing or keep_going or retries > 0 or timeout is not None
+    )
+    if resolve_jobs(jobs) > 1 or recording or fault_tolerant:
+        executor_checkpoint: Optional[ExecutorCheckpoint] = None
+        if checkpointing:
+            executor_checkpoint = ExecutorCheckpoint(
+                Path(checkpoint_dir), resume=resume
+            )
         cells = [
             ReplicationCell(
                 config=config,
@@ -110,13 +151,33 @@ def replicate_policies(
                 horizon=horizon,
                 policy_names=tuple(policy_names),
                 policy_seed=policy_seed,
+                checkpoint=(
+                    CellCheckpointSpec(
+                        directory=str(checkpoint_dir),
+                        key=f"seed-{seed}",
+                        every=checkpoint_every,
+                        resume=resume,
+                    )
+                    if checkpointing
+                    else None
+                ),
             )
             for seed in seeds
         ]
-        for seed, histories in zip(
-            seeds, run_work_units(run_replication_cell, cells, jobs=jobs)
-        ):
-            _merge_seed(result, histories, policy_names, store, experiment, seed)
+        outcomes = run_work_units(
+            run_replication_cell,
+            cells,
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            keep_going=keep_going,
+            checkpoint=executor_checkpoint,
+        )
+        for seed, outcome in zip(seeds, outcomes):
+            if isinstance(outcome, UnitFailure):
+                result.failures[seed] = outcome
+                continue
+            _merge_seed(result, outcome, policy_names, store, experiment, seed)
         return result
     for seed in seeds:
         world = build_world(config.with_overrides(seed=seed))

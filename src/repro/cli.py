@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
             "built-in rules"
         ),
     )
+    _add_checkpoint_arguments(
+        run,
+        "cache each completed work unit under <out>/checkpoints/<id> so "
+        "a killed run resumes without repeating finished cells",
+    )
 
     quickstart = sub.add_parser("quickstart", help="run a tiny demonstration")
     quickstart.add_argument(
@@ -158,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument(
         "--quiet", action="store_true", help="suppress the comparison table"
     )
+    _add_checkpoint_arguments(
+        quickstart,
+        "save round-granular cell checkpoints under <out>/checkpoints; a "
+        "killed run resumed with --resume produces byte-identical "
+        "metrics.json and decisions.jsonl",
+    )
 
     replicate = sub.add_parser(
         "replicate",
@@ -198,6 +209,40 @@ def build_parser() -> argparse.ArgumentParser:
             "enable the learning-health monitor (requires --flight DIR: "
             "health.json + alerts.jsonl are written there); pass an "
             "alerts.toml to replace the built-in rules"
+        ),
+    )
+    _add_checkpoint_arguments(
+        replicate,
+        "save per-seed round checkpoints and cache finished seeds under "
+        "results/replicate/checkpoints (override with --resume DIR)",
+    )
+    replicate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-seed result timeout (pool mode); a wedged cell "
+            "terminates the pool and exits with an error"
+        ),
+    )
+    replicate.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "rebuild a pool broken by a crashed/killed worker up to N "
+            "times and re-run the lost seeds (bit-identical: a fresh "
+            "process on the same seed yields the same result)"
+        ),
+    )
+    replicate.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "graceful degradation: record a crashed seed's failure and "
+            "aggregate the surviving seeds instead of aborting the sweep"
         ),
     )
 
@@ -262,6 +307,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser, what: str) -> None:
+    """Attach the shared ``--checkpoint`` / ``--resume`` pair."""
+    from repro.io.checkpoint import DEFAULT_CHECKPOINT_EVERY
+
+    parser.add_argument(
+        "--checkpoint",
+        nargs="?",
+        const=DEFAULT_CHECKPOINT_EVERY,
+        default=None,
+        type=int,
+        metavar="EVERY",
+        help=(
+            f"enable crash-safe checkpointing ({what}); the optional "
+            f"value is the round cadence (default "
+            f"{DEFAULT_CHECKPOINT_EVERY})"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume from the checkpoint directory of an interrupted "
+            "--checkpoint run (the manifest there is validated against "
+            "this invocation); implies --checkpoint with the cadence "
+            "recorded in the manifest"
+        ),
+    )
+
+
+def _resolve_checkpointing(
+    args: argparse.Namespace,
+    default_dir: Path,
+    payload: dict,
+    health_arg: "Optional[str]",
+) -> "tuple[Optional[Path], int, bool]":
+    """Shared --checkpoint/--resume resolution for run/quickstart/replicate.
+
+    Returns ``(directory, every, resume)`` with ``directory=None`` when
+    checkpointing is off.  On a fresh checkpointed run the manifest is
+    written; on resume it is validated against ``payload`` (all
+    mismatches reported together) and the cadence is taken from it —
+    the resumed run must save on exactly the grid the original did.
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.io.checkpoint import check_manifest, write_manifest
+
+    checkpoint_every = getattr(args, "checkpoint", None)
+    resume_dir = getattr(args, "resume", None)
+    if checkpoint_every is None and resume_dir is None:
+        return None, 0, False
+    if health_arg is not None:
+        raise ConfigurationError(
+            "--checkpoint cannot be combined with --health: round "
+            "checkpoints cannot capture detector/alert window state"
+        )
+    if resume_dir is not None:
+        directory = Path(resume_dir)
+        stored = check_manifest(directory, payload)
+        return directory, int(stored["every"]), True
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigurationError(
+            f"--checkpoint cadence must be >= 1 round, got {checkpoint_every}"
+        )
+    directory = default_dir
+    write_manifest(directory, {**payload, "every": int(checkpoint_every)})
+    return directory, int(checkpoint_every), False
+
+
 def _attach_health(obs: "object", health_arg: str, directory: "object"):
     """Attach the health monitor + alert engine (crash-safe log) to ``obs``.
 
@@ -301,6 +415,18 @@ def _run_experiments(args: argparse.Namespace) -> int:
     )
     ids = list_experiments() if "all" in args.ids else args.ids
     outdir = Path(args.out)
+    ckpt_base, _, resuming = _resolve_checkpointing(
+        args,
+        outdir / "checkpoints",
+        {
+            "command": "run",
+            "ids": sorted(ids),
+            "scale": args.scale,
+            "seed": args.seed,
+            "horizon": args.horizon,
+        },
+        health_arg,
+    )
     for experiment_id in ids:
         runner = get_experiment(experiment_id)
         kwargs = {"scale": args.scale, "seed": args.seed}
@@ -313,6 +439,23 @@ def _run_experiments(args: argparse.Namespace) -> int:
             # The real dataset has its own canonical seed.
             kwargs["seed"] = 2016 if args.seed == 0 else args.seed
         started = time.perf_counter()
+        if ckpt_base is not None:
+            from repro.io.checkpoint import (
+                ExecutorCheckpoint,
+                executor_checkpoint_scope,
+            )
+
+            # Unit-granular caching: every run_work_units call inside
+            # the experiment (grid sweeps, replication cells) caches
+            # its completed units under checkpoints/<id>, so a resumed
+            # run replays finished cells bit-identically.
+            checkpoint_scope = executor_checkpoint_scope(
+                ExecutorCheckpoint(ckpt_base / experiment_id, resume=resuming)
+            )
+        else:
+            from contextlib import nullcontext
+
+            checkpoint_scope = nullcontext()
         if record_obs:
             from repro.obs.core import Instrumentation, use
 
@@ -336,9 +479,10 @@ def _run_experiments(args: argparse.Namespace) -> int:
                     obs, health_arg, outdir / experiment_id
                 )
             try:
-                with obs.span("experiment", experiment_id=experiment_id):
-                    with use(obs):
-                        result = runner(**kwargs)
+                with checkpoint_scope:
+                    with obs.span("experiment", experiment_id=experiment_id):
+                        with use(obs):
+                            result = runner(**kwargs)
             finally:
                 if stream_sink is not None:
                     stream_sink.close()
@@ -346,7 +490,8 @@ def _run_experiments(args: argparse.Namespace) -> int:
                     alert_log.close()
         else:
             obs = None
-            result = runner(**kwargs)
+            with checkpoint_scope:
+                result = runner(**kwargs)
         elapsed = time.perf_counter() - started
         directory = save_result(result, outdir)
         if obs is not None:
@@ -411,6 +556,20 @@ def _quickstart(args: argparse.Namespace) -> int:
     health_monitor = None
     alert_log = None
     config = SyntheticConfig.scaled_default(seed=42)
+    ckpt_dir, ckpt_every, resuming = _resolve_checkpointing(
+        args,
+        Path(args.out) / "checkpoints",
+        {
+            "command": "quickstart",
+            "horizon": _QUICKSTART_HORIZON,
+            "run_seed": _QUICKSTART_RUN_SEED,
+            "policy_seed": _QUICKSTART_POLICY_SEED,
+            "policies": list(_QUICKSTART_POLICIES),
+            "flight": flight_enabled,
+            "obs": record_obs,
+        },
+        health_arg,
+    )
     if record_obs:
         from repro.obs.core import Instrumentation
 
@@ -446,6 +605,11 @@ def _quickstart(args: argparse.Namespace) -> int:
     else:
         obs = NULL_OBS
     names = (OPT_KEY, *_QUICKSTART_POLICIES)
+    executor_checkpoint = None
+    if ckpt_dir is not None:
+        from repro.io.checkpoint import CellCheckpointSpec, ExecutorCheckpoint
+
+        executor_checkpoint = ExecutorCheckpoint(ckpt_dir, resume=resuming)
     cells = [
         PolicyRunCell(
             config=config,
@@ -453,13 +617,31 @@ def _quickstart(args: argparse.Namespace) -> int:
             horizon=_QUICKSTART_HORIZON,
             run_seed=_QUICKSTART_RUN_SEED,
             policy_seed=_QUICKSTART_POLICY_SEED,
+            checkpoint=(
+                CellCheckpointSpec(
+                    directory=str(ckpt_dir),
+                    key=name,
+                    every=ckpt_every,
+                    resume=resuming,
+                )
+                if ckpt_dir is not None
+                else None
+            ),
         )
         for name in names
     ]
     try:
         with use(obs):
             histories = dict(
-                zip(names, run_work_units(run_policy_run_cell, cells, jobs=args.jobs))
+                zip(
+                    names,
+                    run_work_units(
+                        run_policy_run_cell,
+                        cells,
+                        jobs=args.jobs,
+                        checkpoint=executor_checkpoint,
+                    ),
+                )
             )
     finally:
         if stream_sink is not None:
@@ -524,6 +706,17 @@ def _replicate(args: argparse.Namespace) -> int:
             "replicate --health requires --flight DIR (health.json and "
             "alerts.jsonl are written into the flight directory)"
         )
+    ckpt_dir, ckpt_every, resuming = _resolve_checkpointing(
+        args,
+        Path("results/replicate/checkpoints"),
+        {
+            "command": "replicate",
+            "seeds": args.seeds,
+            "horizon": args.horizon,
+            "flight": bool(args.flight),
+        },
+        health_arg,
+    )
     obs = NULL_OBS
     if args.flight:
         from repro.obs.core import Instrumentation
@@ -553,6 +746,12 @@ def _replicate(args: argparse.Namespace) -> int:
                 horizon=args.horizon,
                 store=store,
                 jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                keep_going=args.keep_going,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_every=ckpt_every or 1,
+                resume=resuming,
             )
     finally:
         if store is not None:
@@ -575,6 +774,18 @@ def _replicate(args: argparse.Namespace) -> int:
                 f"{alert_log.num_records} alerts",
                 file=sys.stderr,
             )
+    if result.failures:
+        for seed, failure in sorted(result.failures.items()):
+            print(
+                f"seed {seed} FAILED ({failure.error_type}): "
+                f"{failure.message}",
+                file=sys.stderr,
+            )
+        print(
+            f"{len(result.failures)} of {args.seeds} seeds failed; "
+            "aggregates cover the surviving seeds only",
+            file=sys.stderr,
+        )
     rows = [
         [policy, f"{mean:.3f}", f"[{low:.3f}, {high:.3f}]",
          "-" if regret is None else f"{regret:.0f}"]

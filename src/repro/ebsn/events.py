@@ -202,6 +202,31 @@ class EventStore:
         """Restore all capacities to their initial values."""
         self._remaining = self._initial_capacity.copy()
 
+    def restore_remaining(self, remaining: Sequence[float]) -> None:
+        """Overwrite the remaining capacities from a checkpoint.
+
+        The vector must cover every event and stay within
+        ``[0, initial]`` per event — a snapshot from a differently
+        sized or differently provisioned store is rejected up front.
+        """
+        values = np.asarray(remaining, dtype=float).reshape(-1)
+        if values.size != self._num_events:
+            raise ConfigurationError(
+                f"remaining-capacity vector has {values.size} entries, "
+                f"store has {self._num_events} events"
+            )
+        finite = np.isfinite(self._initial_capacity)
+        within = (values >= 0) & (
+            ~finite | (values <= self._initial_capacity)
+        )
+        if not bool(within.all()):
+            bad = int(np.flatnonzero(~within)[0])
+            raise ConfigurationError(
+                f"remaining capacity {values[bad]} of event {bad} outside "
+                f"[0, {self._initial_capacity[bad]}]"
+            )
+        self._remaining = values.copy()
+
     def total_remaining(self) -> float:
         """Sum of remaining capacities (``inf`` if any event is unlimited)."""
         return float(self._remaining.sum())

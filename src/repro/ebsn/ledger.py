@@ -10,7 +10,9 @@ a simulation can always be reconciled after the fact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import LedgerError
 
@@ -78,6 +80,94 @@ class RegistrationLedger:
 
     def __getitem__(self, index: int) -> LedgerEntry:
         return self._entries[index]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the log into dense integer arrays for an npz checkpoint.
+
+        Variable-length ``arranged``/``accepted`` tuples are stored as
+        one flat array each plus an offsets array in CSR style
+        (``offsets[i]:offsets[i+1]`` delimits entry ``i``).
+        """
+        entries = self._entries
+        arranged_offsets = np.zeros(len(entries) + 1, dtype=np.int64)
+        accepted_offsets = np.zeros(len(entries) + 1, dtype=np.int64)
+        arranged_flat: List[int] = []
+        accepted_flat: List[int] = []
+        for i, entry in enumerate(entries):
+            arranged_flat.extend(entry.arranged)
+            accepted_flat.extend(entry.accepted)
+            arranged_offsets[i + 1] = len(arranged_flat)
+            accepted_offsets[i + 1] = len(accepted_flat)
+        return {
+            "time_steps": np.array(
+                [e.time_step for e in entries], dtype=np.int64
+            ),
+            "user_ids": np.array([e.user_id for e in entries], dtype=np.int64),
+            "arranged_offsets": arranged_offsets,
+            "arranged_flat": np.array(arranged_flat, dtype=np.int64),
+            "accepted_offsets": accepted_offsets,
+            "accepted_flat": np.array(accepted_flat, dtype=np.int64),
+        }
+
+    def restore_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Rebuild the log from :meth:`state_arrays` output.
+
+        Structural consistency (matching lengths, monotone offsets) is
+        validated before the current entries are discarded; entry-level
+        invariants are re-enforced by :class:`LedgerEntry` itself.
+        """
+        time_steps = np.asarray(arrays["time_steps"], dtype=np.int64).reshape(-1)
+        user_ids = np.asarray(arrays["user_ids"], dtype=np.int64).reshape(-1)
+        arranged_offsets = np.asarray(
+            arrays["arranged_offsets"], dtype=np.int64
+        ).reshape(-1)
+        accepted_offsets = np.asarray(
+            arrays["accepted_offsets"], dtype=np.int64
+        ).reshape(-1)
+        arranged_flat = np.asarray(arrays["arranged_flat"], dtype=np.int64).reshape(-1)
+        accepted_flat = np.asarray(arrays["accepted_flat"], dtype=np.int64).reshape(-1)
+        count = time_steps.size
+        if user_ids.size != count:
+            raise LedgerError(
+                f"{count} time steps but {user_ids.size} user ids"
+            )
+        for name, offsets, flat in (
+            ("arranged", arranged_offsets, arranged_flat),
+            ("accepted", accepted_offsets, accepted_flat),
+        ):
+            if offsets.size != count + 1 or (count and offsets[0] != 0):
+                raise LedgerError(f"malformed {name} offsets in checkpoint")
+            if offsets.size and int(offsets[-1]) != flat.size:
+                raise LedgerError(
+                    f"{name} offsets cover {int(offsets[-1])} entries but "
+                    f"the flat array holds {flat.size}"
+                )
+            if offsets.size > 1 and bool((np.diff(offsets) < 0).any()):
+                raise LedgerError(f"non-monotone {name} offsets in checkpoint")
+        entries: List[LedgerEntry] = []
+        for i in range(count):
+            entries.append(
+                LedgerEntry(
+                    time_step=int(time_steps[i]),
+                    user_id=int(user_ids[i]),
+                    arranged=tuple(
+                        int(v)
+                        for v in arranged_flat[
+                            arranged_offsets[i] : arranged_offsets[i + 1]
+                        ]
+                    ),
+                    accepted=tuple(
+                        int(v)
+                        for v in accepted_flat[
+                            accepted_offsets[i] : accepted_offsets[i + 1]
+                        ]
+                    ),
+                )
+            )
+        self._entries = entries
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -14,7 +14,7 @@ capacities of *accepted* events, and records everything in the ledger.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 from repro.ebsn.conflicts import BaseConflictGraph
 from repro.ebsn.events import EventStore
@@ -98,6 +98,36 @@ class Platform:
         self.store.reset()
         self.ledger = RegistrationLedger()
         self._time_step = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The dynamic platform state (time step, capacities, ledger)."""
+        state: Dict[str, object] = {
+            "time_step": self._time_step,
+            "remaining": self.store.remaining_capacities,
+        }
+        for key, value in self.ledger.state_arrays().items():
+            state[f"ledger_{key}"] = value
+        return state
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a snapshot from :meth:`state_dict`.
+
+        The ledger rebuild and the capacity overwrite each validate
+        their inputs before mutating, so a structurally bad snapshot
+        raises instead of leaving silently corrupt state behind.
+        """
+        self.ledger.restore_arrays(
+            {
+                key[len("ledger_") :]: value  # type: ignore[misc]
+                for key, value in state.items()
+                if key.startswith("ledger_")
+            }
+        )
+        self.store.restore_remaining(state["remaining"])  # type: ignore[arg-type]
+        self._time_step = int(state["time_step"])  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

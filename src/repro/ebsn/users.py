@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
-from repro.linalg.sampling import RngLike, make_rng
+from repro.linalg.sampling import (
+    RngLike,
+    capture_rng_state,
+    make_rng,
+    restore_rng_state,
+)
 
 
 @dataclass(frozen=True)
@@ -88,6 +93,15 @@ class UserArrivalStream:
         """Yield the next ``count`` arrivals."""
         for _ in range(count):
             yield self.next_user()
+
+    def state_dict(self) -> Dict[str, object]:
+        """The dynamic stream state (RNG position + next user id)."""
+        return {"rng": capture_rng_state(self._rng), "next_id": self._next_id}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (exact position)."""
+        restore_rng_state(self._rng, state["rng"])  # type: ignore[arg-type]
+        self._next_id = int(state["next_id"])  # type: ignore[arg-type]
 
 
 class FixedUserStream(UserArrivalStream):

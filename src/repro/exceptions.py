@@ -37,6 +37,15 @@ class NotFittedError(ReproError):
     """A model was queried before observing any data it requires."""
 
 
+class WorkUnitTimeoutError(ReproError):
+    """A parallel work unit exceeded its per-unit timeout.
+
+    Raised by :func:`repro.parallel.run_work_units` when ``timeout`` is
+    set and a unit's result does not arrive in time.  The worker pool is
+    terminated (not drained), so a wedged cell cannot hang the sweep.
+    """
+
+
 class SchemaError(ReproError):
     """A persisted artefact carries an unknown or incompatible schema.
 

@@ -67,9 +67,15 @@ def sweep(
     CPUs); cells are independent, results come back in grid order, and
     the metrics are identical to the serial run.
     """
+    from repro.io.checkpoint import active_executor_checkpoint
+
     cells: List[SweepCell] = []
     horizon_default = horizon if horizon is not None else base.horizon
-    if resolve_jobs(jobs) > 1:
+    # The cell path is bit-identical to the inline loop (asserted by
+    # tests/test_parallel.py), so an ambient executor checkpoint also
+    # routes a serial sweep through it: completed cells land in the
+    # unit cache and a resumed `fasea run --checkpoint` replays them.
+    if resolve_jobs(jobs) > 1 or active_executor_checkpoint() is not None:
         work = []
         for overrides in expand_grid(axes):
             config = base.with_overrides(**overrides)

@@ -44,7 +44,9 @@ def save_policy_state(policy: Policy, path: PathLike) -> Path:
     """
     path = Path(path)
     if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+        # Normalise once on the *name*: with_suffix() on names with a
+        # trailing dot ("model.") used to produce "model..npz".
+        path = path.with_name(path.name.rstrip(".") + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
 
     if isinstance(policy, DisjointUcbPolicy):
@@ -77,11 +79,37 @@ def save_policy_state(policy: Policy, path: PathLike) -> Path:
     return path
 
 
+def _check_state_shapes(
+    path: Path,
+    label: str,
+    y: np.ndarray,
+    b: np.ndarray,
+    state: object,
+) -> None:
+    """Reject archives whose arrays do not fit the receiving model.
+
+    Without this, a dimension-mismatched archive would land inside the
+    ridge state and only explode rounds later (or, worse, silently
+    broadcast).  The error names both shapes so the mismatch — usually
+    a wrong ``dim`` or event count on the receiving policy — is obvious.
+    """
+    expected_y = state.y.shape
+    expected_b = state.b.shape
+    if y.shape != expected_y or b.shape != expected_b:
+        raise ConfigurationError(
+            f"{path}: {label} state has Y{tuple(y.shape)} / "
+            f"b{tuple(b.shape)} but the receiving model expects "
+            f"Y{tuple(expected_y)} / b{tuple(expected_b)}"
+        )
+
+
 def load_policy_state(policy: Policy, path: PathLike) -> Policy:
     """Restore saved statistics into an existing policy; returns it.
 
     The receiving policy must structurally match the archive (same kind
-    of model, same dimension, same event count for disjoint states).
+    of model, same dimension, same event count for disjoint states);
+    array shapes are validated against the receiving model before
+    anything mutates.
     """
     path = Path(path)
     if not path.exists():
@@ -108,6 +136,16 @@ def load_policy_state(policy: Policy, path: PathLike) -> Policy:
                     f"archive has {num_models} models, policy has "
                     f"{policy.num_events}"
                 )
+            # Validate every model's shapes before restoring any, so a
+            # mismatch cannot leave the policy half-restored.
+            for index in range(num_models):
+                _check_state_shapes(
+                    path,
+                    f"model {index}",
+                    archive[f"y_{index}"],
+                    archive[f"b_{index}"],
+                    policy.model_for(index).state,
+                )
             for index in range(num_models):
                 policy.model_for(index).state.restore(
                     archive[f"y_{index}"],
@@ -121,6 +159,9 @@ def load_policy_state(policy: Policy, path: PathLike) -> Policy:
                 raise ConfigurationError(
                     f"policy {policy.name!r} cannot receive shared state"
                 )
+            _check_state_shapes(
+                path, "shared", archive["y"], archive["b"], model.state
+            )
             model.state.restore(
                 archive["y"], archive["b"], int(archive["n"][0])
             )

@@ -19,7 +19,7 @@ drift.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 import numpy.typing as npt
@@ -244,6 +244,83 @@ class RidgeState:
         self._theta = None
         self._updates_since_refresh = 0
         self.num_observations = int(num_observations)
+
+    def checkpoint_state(self) -> Dict[str, FloatArray]:
+        """Export the *exact* internal state for a bit-identical resume.
+
+        Unlike the ``(Y, b, n)`` layout of :meth:`restore` — which
+        recomputes ``Y^{-1}`` from scratch and therefore differs from
+        the Sherman--Morrison-maintained inverse in the low-order bits —
+        this captures the maintained inverse, the cached ``theta_hat``
+        and the refresh counter verbatim, so
+        :meth:`restore_checkpoint` reproduces every subsequent update
+        bit-for-bit.
+        """
+        state: Dict[str, FloatArray] = {
+            "y": self._y.copy(),
+            "b": self._b.copy(),
+            "meta": np.array(
+                [
+                    self.num_observations,
+                    self._updates_since_refresh,
+                    1 if self._y_inv is not None else 0,
+                    1 if self._theta is not None else 0,
+                ],
+                dtype=np.int64,
+            ),
+        }
+        if self._y_inv is not None:
+            state["y_inv"] = self._y_inv.copy()
+        if self._theta is not None:
+            state["theta"] = self._theta.copy()
+        return state
+
+    def restore_checkpoint(self, state: Mapping[str, FloatArray]) -> None:
+        """Restore the exact state exported by :meth:`checkpoint_state`.
+
+        Every array is validated against this instance's dimension
+        before anything is mutated; a mismatched archive raises
+        :class:`~repro.exceptions.ConfigurationError` naming both
+        shapes instead of surfacing as a numpy broadcast error later.
+        """
+        design: FloatArray = np.asarray(state["y"], dtype=float)
+        response: FloatArray = np.asarray(state["b"], dtype=float).reshape(-1)
+        meta = np.asarray(state["meta"], dtype=np.int64).reshape(-1)
+        if design.shape != (self.dim, self.dim):
+            raise ConfigurationError(
+                f"checkpoint Y has shape {design.shape}, expected "
+                f"({self.dim}, {self.dim})"
+            )
+        if response.size != self.dim:
+            raise ConfigurationError(
+                f"checkpoint b has size {response.size}, expected {self.dim}"
+            )
+        if meta.size != 4:
+            raise ConfigurationError(
+                f"checkpoint meta has size {meta.size}, expected 4"
+            )
+        has_inv, has_theta = bool(meta[2]), bool(meta[3])
+        y_inv: Optional[FloatArray] = None
+        if has_inv:
+            y_inv = np.asarray(state["y_inv"], dtype=float)
+            if y_inv.shape != (self.dim, self.dim):
+                raise ConfigurationError(
+                    f"checkpoint Y^-1 has shape {y_inv.shape}, expected "
+                    f"({self.dim}, {self.dim})"
+                )
+        theta: Optional[FloatArray] = None
+        if has_theta:
+            theta = np.asarray(state["theta"], dtype=float).reshape(-1)
+            if theta.size != self.dim:
+                raise ConfigurationError(
+                    f"checkpoint theta has size {theta.size}, expected {self.dim}"
+                )
+        self._y = design.copy()
+        self._b = response.copy()
+        self._y_inv = y_inv.copy() if y_inv is not None else None
+        self._theta = theta.copy() if theta is not None else None
+        self.num_observations = int(meta[0])
+        self._updates_since_refresh = int(meta[1])
 
     def reset(self) -> None:
         """Forget all observations; return to the prior ``(lam * I, 0)``.

@@ -29,6 +29,39 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def capture_rng_state(rng: np.random.Generator) -> dict:
+    """Export a generator's bit-generator state as plain JSON-able data.
+
+    The returned dict round-trips through :func:`restore_rng_state`:
+    restoring it puts the generator at the *exact* stream position it
+    held at capture time, so a resumed run draws the same tail of
+    values an uninterrupted run would.  Reading the state does not
+    advance the stream.
+    """
+    return dict(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a bit-generator state captured by :func:`capture_rng_state`.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``state`` belongs to a different bit-generator family than
+        ``rng`` (e.g. a PCG64 state offered to a Philox generator).
+    """
+    expected = rng.bit_generator.state.get("bit_generator")
+    offered = state.get("bit_generator") if isinstance(state, dict) else None
+    if offered != expected:
+        raise ConfigurationError(
+            f"RNG state is for bit generator {offered!r}, expected {expected!r}"
+        )
+    try:
+        rng.bit_generator.state = state
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(f"invalid RNG state: {error}") from error
+
+
 def spawn_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
     """Derive an independent child generator from ``rng`` and ``keys``.
 

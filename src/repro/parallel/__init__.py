@@ -23,7 +23,7 @@ from repro.parallel.cells import (
     run_policy_run_cell,
     run_replication_cell,
 )
-from repro.parallel.executor import resolve_jobs, run_work_units
+from repro.parallel.executor import UnitFailure, resolve_jobs, run_work_units
 
 __all__ = [
     "GridCell",
@@ -31,6 +31,7 @@ __all__ = [
     "OPT_KEY",
     "PolicyRunCell",
     "ReplicationCell",
+    "UnitFailure",
     "resolve_jobs",
     "run_grid_cell",
     "run_policy_run_cell",

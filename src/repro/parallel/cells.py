@@ -17,11 +17,12 @@ and stay trivially callable inline when ``jobs=1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.bandits import OptPolicy, make_policy
 from repro.bandits.base import Policy
 from repro.datasets.synthetic import SyntheticConfig, build_world
+from repro.io.checkpoint import CellCheckpointSpec
 from repro.obs.core import current
 from repro.obs.flight import cell_record
 from repro.simulation.fleet import run_policy_fleet
@@ -41,6 +42,11 @@ class ReplicationCell:
     horizon: int
     policy_names: Tuple[str, ...]
     policy_seed: int
+    #: Round-granular crash recovery for this cell.  Excluded from the
+    #: executor's unit digest (see repro.io.checkpoint.unit_digest):
+    #: where a cell saves — and whether it resumes — is wiring, not
+    #: work identity.
+    checkpoint: Optional[CellCheckpointSpec] = None
 
 
 def run_replication_cell(cell: ReplicationCell) -> Dict[str, History]:
@@ -62,7 +68,11 @@ def run_replication_cell(cell: ReplicationCell) -> Dict[str, History]:
         # stays parseable per seed after the submission-order merge.
         flight.record(cell_record(cell.seed))
     return run_policy_fleet(
-        policies, world, horizon=cell.horizon, run_seed=cell.seed
+        policies,
+        world,
+        horizon=cell.horizon,
+        run_seed=cell.seed,
+        checkpoint=cell.checkpoint,
     )
 
 
@@ -80,6 +90,9 @@ class PolicyRunCell:
     horizon: int
     run_seed: int
     policy_seed: int
+    #: Round-granular crash recovery (digest-exempt wiring; see
+    #: :class:`ReplicationCell`).
+    checkpoint: Optional[CellCheckpointSpec] = None
 
 
 def run_policy_run_cell(cell: PolicyRunCell) -> History:
@@ -93,7 +106,11 @@ def run_policy_run_cell(cell: PolicyRunCell) -> History:
             cell.policy_name, dim=cell.config.dim, seed=cell.policy_seed
         )
     return run_policy(
-        policy, world, horizon=cell.horizon, run_seed=cell.run_seed
+        policy,
+        world,
+        horizon=cell.horizon,
+        run_seed=cell.run_seed,
+        checkpoint=cell.checkpoint,
     )
 
 

@@ -17,7 +17,7 @@ the context — not on which policy asked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.datasets.synthetic import SyntheticWorld
 from repro.ebsn.ledger import LedgerEntry
 from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import capture_rng_state, restore_rng_state
 from repro.obs.core import InstrumentationLike, current
 
 #: Emit-site metric names (FAS016).
@@ -68,6 +69,62 @@ class FaseaEnvironment:
     @property
     def time_step(self) -> int:
         return self.platform.time_step
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot the dynamic run state at a round boundary.
+
+        Captures the exact positions of the three random streams, the
+        arrival stream's bookkeeping and the platform (clock, remaining
+        capacities, ledger).  The static world is *not* captured — a
+        resume rebuilds it from configuration, which is deterministic.
+        """
+        if self._pending is not None:
+            raise ConfigurationError(
+                "cannot checkpoint mid-round (begin_round without commit)"
+            )
+        arrivals_state = getattr(self._arrivals, "state_dict", None)
+        if arrivals_state is None:
+            raise ConfigurationError(
+                f"{type(self._arrivals).__name__} does not support "
+                "checkpointing (no state_dict)"
+            )
+        state: Dict[str, object] = {
+            f"arrivals_{key}": value for key, value in arrivals_state().items()
+        }
+        state["context_rng"] = capture_rng_state(self._context_rng)
+        state["feedback_rng"] = capture_rng_state(self._feedback_rng)
+        for key, value in self.platform.state_dict().items():
+            state[f"platform_{key}"] = value
+        return state
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact positions)."""
+        restore = getattr(self._arrivals, "restore_state", None)
+        if restore is None:
+            raise ConfigurationError(
+                f"{type(self._arrivals).__name__} does not support "
+                "checkpointing (no restore_state)"
+            )
+        restore(
+            {
+                key[len("arrivals_") :]: value
+                for key, value in state.items()
+                if key.startswith("arrivals_")
+            }
+        )
+        restore_rng_state(self._context_rng, state["context_rng"])  # type: ignore[arg-type]
+        restore_rng_state(self._feedback_rng, state["feedback_rng"])  # type: ignore[arg-type]
+        self.platform.restore_state(
+            {
+                key[len("platform_") :]: value
+                for key, value in state.items()
+                if key.startswith("platform_")
+            }
+        )
+        self._pending = None
 
     def begin_round(self) -> RoundView:
         """Reveal the next user and context matrix (start of step ``t``)."""

@@ -17,7 +17,7 @@ individually with the same ``(world, run_seed)`` —
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,13 +25,17 @@ from repro.bandits.base import Policy, RoundView
 from repro.datasets.synthetic import SyntheticWorld
 from repro.ebsn.platform import Platform
 from repro.exceptions import ConfigurationError
+from repro.linalg.sampling import capture_rng_state, restore_rng_state
 from repro.metrics.kendall import kendall_tau
-from repro.obs.core import InstrumentationLike, current
+from repro.obs.core import InstrumentationLike, MetricsSnapshot, current
 from repro.obs.flight import decision_record
 from repro.obs.profile import ProfileConfig
 from repro.obs.stream import StreamingSink
 from repro.simulation.history import History, default_checkpoints
-from repro.simulation.runner import record_policy_round
+from repro.simulation.runner import open_run_checkpointer, record_policy_round
+
+if TYPE_CHECKING:  # import cycle: repro.io.__init__ reaches back here
+    from repro.io.checkpoint import CellCheckpointSpec
 
 
 def run_policy_fleet(
@@ -46,6 +50,7 @@ def run_policy_fleet(
     profile: Optional[ProfileConfig] = None,
     stream: Optional[StreamingSink] = None,
     flight: Optional[object] = None,
+    checkpoint: Optional["CellCheckpointSpec"] = None,
 ) -> Dict[str, History]:
     """Play every policy on one shared stream; return histories by name.
 
@@ -62,6 +67,12 @@ def run_policy_fleet(
     attribute self time per policy.  ``stream`` is offered one flush
     opportunity per round.  Both observe only — arrangements and
     rewards are bit-identical with them on or off.
+
+    ``checkpoint`` enables round-granular crash recovery exactly as in
+    :func:`~repro.simulation.runner.run_policy`, capturing the shared
+    input streams once plus every policy's learned/RNG/platform state
+    under per-policy prefixes.  A resumed fleet is bit-identical to an
+    uninterrupted one.
     """
     if not policies:
         raise ConfigurationError("need at least one policy")
@@ -113,6 +124,98 @@ def run_policy_fleet(
         true_scores = world.expected_rewards(eval_contexts)
 
     num_events = len(world.capacities)
+
+    start_round = 0
+    checkpointer = None
+    if checkpoint is not None:
+        from repro.io.checkpoint import (
+            CHECKPOINT_RESUMED_EVENT,
+            CHECKPOINT_SAVED_EVENT,
+            CHECKPOINT_SAVES_METRIC,
+            capture_policy_state,
+            pack_json,
+            pack_state,
+            restore_policy_state,
+            unpack_json,
+            unpack_state,
+        )
+
+        checkpointer = open_run_checkpointer(checkpoint, obs, recording, flight)
+        stored = checkpointer.load()
+        if stored is not None:
+            start_round = int(stored["t"][0])
+            if start_round > horizon:
+                raise ConfigurationError(
+                    f"checkpoint is at round {start_round} but the run's "
+                    f"horizon is only {horizon}"
+                )
+            shared = unpack_state("stream.", stored)
+            arrivals.restore_state(
+                {
+                    key[len("arrivals_") :]: value
+                    for key, value in shared.items()
+                    if key.startswith("arrivals_")
+                }
+            )
+            restore_rng_state(context_rng, shared["context_rng"])
+            restore_rng_state(feedback_rng, shared["feedback_rng"])
+            for name, policy in policies.items():
+                prefix = f"p.{name}."
+                restore_policy_state(
+                    policy,
+                    {
+                        key[len(prefix) :]: value
+                        for key, value in stored.items()
+                        if key.startswith(prefix)
+                    },
+                )
+                platforms[name].restore_state(
+                    unpack_state(f"plat.{name}.", stored)
+                )
+                rewards[name][:start_round] = stored[f"rewards.{name}"]
+                arranged_counts[name][:start_round] = stored[f"arranged.{name}"]
+                taus[name][:] = [float(tau) for tau in stored[f"k_taus.{name}"]]
+            if instrumented:
+                # Merging into the fresh registry reproduces the saved
+                # snapshot exactly; resume markers are trace events only
+                # so metrics.json stays byte-comparable.
+                obs.merge_snapshot(
+                    MetricsSnapshot.from_dict(unpack_json(stored["obs"]))
+                )
+                obs.merge_trace(unpack_json(stored["trace"]))
+                obs.event(CHECKPOINT_RESUMED_EVENT, round=start_round)
+            if recording:
+                flight.records[:] = unpack_json(stored["flight"])
+
+    def _save_checkpoint(round_index: int) -> None:
+        """Capture shared streams + every policy's state at a boundary."""
+        if instrumented:
+            obs.counter(CHECKPOINT_SAVES_METRIC).inc()
+        arrays = {"t": np.array([round_index], dtype=np.int64)}
+        shared = {
+            f"arrivals_{key}": value
+            for key, value in arrivals.state_dict().items()
+        }
+        shared["context_rng"] = capture_rng_state(context_rng)
+        shared["feedback_rng"] = capture_rng_state(feedback_rng)
+        arrays.update(pack_state("stream.", shared))
+        for name, policy in policies.items():
+            for key, value in capture_policy_state(policy).items():
+                arrays[f"p.{name}.{key}"] = value
+            arrays.update(
+                pack_state(f"plat.{name}.", platforms[name].state_dict())
+            )
+            arrays[f"rewards.{name}"] = rewards[name][:round_index].copy()
+            arrays[f"arranged.{name}"] = arranged_counts[name][:round_index].copy()
+            arrays[f"k_taus.{name}"] = np.asarray(taus[name], dtype=np.float64)
+        if instrumented:
+            arrays["obs"] = pack_json(obs.snapshot().to_dict())
+            arrays["trace"] = pack_json(obs.trace_records())
+        if recording:
+            arrays["flight"] = pack_json(list(flight.records))
+        checkpointer.save(arrays)
+        if instrumented:
+            obs.event(CHECKPOINT_SAVED_EVENT, round=round_index)
 
     def _step(name: str, policy: Policy, t: int, user, contexts, accepts) -> None:
         """One policy's reveal-select-commit-observe against round ``t``."""
@@ -169,7 +272,7 @@ def run_policy_fleet(
         horizon=horizon,
         run_seed=run_seed,
     ):
-        for t in range(1, horizon + 1):
+        for t in range(start_round + 1, horizon + 1):
             user = arrivals.next_user()
             contexts = sampler.sample(context_rng)
             thresholds = feedback_rng.uniform(size=num_events)
@@ -191,6 +294,16 @@ def run_policy_fleet(
                 engine.evaluate_round(obs, t)
             if instrumented and stream is not None:
                 stream.maybe_flush(1)
+            # Save strictly after every policy's step (including the
+            # Kendall diagnostic, which for TS draws from the policy
+            # RNG): the captured positions are the ones round t+1
+            # actually starts from.
+            if checkpointer is not None and t < horizon and checkpointer.due(t):
+                _save_checkpoint(t)
+
+    if checkpointer is not None:
+        # The cell completed; the executor's unit cache takes over.
+        checkpointer.clear()
 
     if recording:
         for policy in policies.values():

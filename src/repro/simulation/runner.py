@@ -19,7 +19,7 @@ bit-identical with them on or off.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -27,8 +27,9 @@ from repro.bandits.base import Policy
 from repro.datasets.synthetic import SyntheticWorld
 from repro.ebsn.events import EventStore
 from repro.ebsn.ledger import LedgerEntry
+from repro.exceptions import ConfigurationError
 from repro.metrics.kendall import kendall_tau
-from repro.obs.core import InstrumentationLike, current
+from repro.obs.core import InstrumentationLike, MetricsSnapshot, current
 from repro.obs.flight import decision_record
 from repro.obs.health import (
     CAPACITY_EXHAUSTED_METRIC,
@@ -40,6 +41,9 @@ from repro.obs.profile import ProfileConfig
 from repro.obs.stream import StreamingSink
 from repro.simulation.environment import FaseaEnvironment
 from repro.simulation.history import History, default_checkpoints
+
+if TYPE_CHECKING:  # import cycle: repro.io.__init__ reaches back here
+    from repro.io.checkpoint import CellCheckpointSpec
 
 #: Per-policy emit-site metric names (FAS016: names are constants so
 #: alert selectors cannot silently miss a typo'd emit site).
@@ -104,6 +108,46 @@ def record_policy_round(
         monitor.observe_round(obs, label, time_step, reward, drift, fill_rate)
 
 
+def open_run_checkpointer(
+    spec: "CellCheckpointSpec",
+    obs: InstrumentationLike,
+    recording: bool,
+    flight: Optional[object],
+) -> object:
+    """Build a cell's :class:`~repro.io.checkpoint.RunCheckpointer`.
+
+    Shared by the round runner and the fleet runner.  Rejects the two
+    attachments whose internal state a round checkpoint cannot capture:
+
+    * an alert engine / health monitor (windowed detector state would
+      silently reset on resume, changing firings);
+    * a disk-backed flight recorder (the resumed process would append
+      to a log that already holds the pre-crash records; checkpointing
+      requires an in-memory buffer whose contents travel inside the
+      checkpoint and are replayed exactly — which is what the executor's
+      isolated-cell mode provides).
+    """
+    from repro.io.checkpoint import RunCheckpointer
+
+    if getattr(obs, "alert_engine", None) is not None:
+        raise ConfigurationError(
+            "round checkpointing cannot capture alert-engine window state; "
+            "run without --alerts/--health or without --checkpoint"
+        )
+    if getattr(obs, "health_monitor", None) is not None:
+        raise ConfigurationError(
+            "round checkpointing cannot capture health-monitor detector "
+            "state; run without --health or without --checkpoint"
+        )
+    if recording and not hasattr(flight, "records"):
+        raise ConfigurationError(
+            "round checkpointing requires an in-memory flight buffer "
+            f"(got {type(flight).__name__}); route the run through "
+            "run_work_units, which records each cell into a FlightBuffer"
+        )
+    return RunCheckpointer(spec)
+
+
 def run_policy(
     policy: Policy,
     world: SyntheticWorld,
@@ -116,6 +160,7 @@ def run_policy(
     profile: Optional[ProfileConfig] = None,
     stream: Optional[StreamingSink] = None,
     flight: Optional[object] = None,
+    checkpoint: Optional["CellCheckpointSpec"] = None,
 ) -> History:
     """Play ``policy`` for ``horizon`` rounds and return its history.
 
@@ -162,6 +207,16 @@ def run_policy(
         ``decision`` record per round is appended.  Recording never
         touches an RNG stream, so rewards are bit-identical with it
         on or off.
+    checkpoint:
+        A :class:`~repro.io.checkpoint.CellCheckpointSpec`.  Every
+        ``every``-th round boundary the runner atomically saves the
+        exact dynamic state (policy learned state + RNG positions,
+        environment streams/ledger/capacities, accumulated rewards,
+        Kendall checkpoints, telemetry snapshot, flight buffer); with
+        ``resume=True`` an existing checkpoint is loaded and the run
+        continues from its round — bit-identical to an uninterrupted
+        run (``tests/test_checkpoint_resume`` proves it).  Saving
+        never touches an RNG stream.
     """
     horizon = horizon if horizon is not None else world.config.horizon
     obs = obs if obs is not None else current()
@@ -201,8 +256,89 @@ def run_policy(
         true_ranking_scores = world.expected_rewards(eval_contexts)
 
     elapsed = 0.0
+    start_round = 0
+    checkpointer = None
+    if checkpoint is not None:
+        from repro.io.checkpoint import (
+            CHECKPOINT_RESUMED_EVENT,
+            CHECKPOINT_SAVED_EVENT,
+            CHECKPOINT_SAVES_METRIC,
+            capture_policy_state,
+            pack_json,
+            pack_state,
+            restore_policy_state,
+            unpack_json,
+            unpack_state,
+        )
+
+        checkpointer = open_run_checkpointer(checkpoint, obs, recording, flight)
+        stored = checkpointer.load()
+        if stored is not None:
+            start_round = int(stored["t"][0])
+            if start_round > horizon:
+                raise ConfigurationError(
+                    f"checkpoint is at round {start_round} but the run's "
+                    f"horizon is only {horizon}"
+                )
+            restore_policy_state(
+                policy,
+                {
+                    key[len("policy.") :]: value
+                    for key, value in stored.items()
+                    if key.startswith("policy.")
+                },
+            )
+            env.restore_state(unpack_state("env.", stored))
+            rewards[:start_round] = stored["rewards"]
+            arranged_counts[:start_round] = stored["arranged"]
+            elapsed = float(stored["elapsed"][0])
+            steps = [int(step) for step in stored["k_steps"]]
+            taus = [float(tau) for tau in stored["k_taus"]]
+            if instrumented:
+                # Merging into the fresh registry reproduces the saved
+                # snapshot exactly (counters add from zero, series
+                # concatenate onto nothing) — the resume marker is a
+                # trace event only, so metrics.json stays byte-
+                # comparable to an uninterrupted run's.
+                obs.merge_snapshot(
+                    MetricsSnapshot.from_dict(unpack_json(stored["obs"]))
+                )
+                obs.merge_trace(unpack_json(stored["trace"]))
+                obs.event(CHECKPOINT_RESUMED_EVENT, round=start_round)
+            if recording:
+                flight.records[:] = unpack_json(stored["flight"])
+
+    def _save_checkpoint(round_index: int) -> None:
+        """Capture the exact state at the ``round_index`` boundary.
+
+        The saves counter is incremented *before* the snapshot is
+        captured, so the count rides inside its own checkpoint and a
+        resumed run reports exactly what an uninterrupted one does.
+        """
+        if instrumented:
+            obs.counter(CHECKPOINT_SAVES_METRIC).inc()
+        arrays = {
+            "t": np.array([round_index], dtype=np.int64),
+            "rewards": rewards[:round_index].copy(),
+            "arranged": arranged_counts[:round_index].copy(),
+            "elapsed": np.array([elapsed], dtype=np.float64),
+            "k_steps": np.asarray(steps, dtype=np.int64),
+            "k_taus": np.asarray(taus, dtype=np.float64),
+        }
+        for key, value in capture_policy_state(policy).items():
+            arrays[f"policy.{key}"] = value
+        arrays.update(pack_state("env.", env.state_dict()))
+        if instrumented:
+            arrays["obs"] = pack_json(obs.snapshot().to_dict())
+            arrays["trace"] = pack_json(obs.trace_records())
+        if recording:
+            arrays["flight"] = pack_json(list(flight.records))
+        checkpointer.save(arrays)
+        if instrumented:
+            obs.event(CHECKPOINT_SAVED_EVENT, round=round_index)
+
     with obs.span("run_policy", policy=policy.name, horizon=horizon, run_seed=run_seed):
-        for t in range(1, horizon + 1):
+        for t in range(start_round + 1, horizon + 1):
             if profiling and profile.samples(t):
                 # Sampled round: same work, wrapped in profiler spans.
                 # The grid is round-indexed (t % sample_every == 0), so
@@ -254,6 +390,17 @@ def run_policy(
                 estimated = policy.ranking_scores(eval_contexts, t)
                 steps.append(t)
                 taus.append(kendall_tau(estimated, true_ranking_scores))
+            # Save strictly after the Kendall diagnostic: for policies
+            # whose ranking scores draw from the policy RNG (TS), the
+            # captured bit-generator position must be the post-round
+            # one the next round actually starts from.
+            if checkpointer is not None and t < horizon and checkpointer.due(t):
+                _save_checkpoint(t)
+
+    if checkpointer is not None:
+        # The cell completed; the executor's unit cache takes over, so
+        # the round slot would only invite a stale mid-run resume.
+        checkpointer.clear()
 
     if track_kendall:
         kendall_steps = np.asarray(steps, dtype=int)

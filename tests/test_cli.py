@@ -1,5 +1,7 @@
 """The fasea CLI."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -61,3 +63,54 @@ def test_replicate_prints_ci_table(capsys):
     out = capsys.readouterr().out
     assert "accept_ratio" in out
     assert "UCB > TS on every seed" in out
+
+
+def test_checkpoint_rejects_health_combo(tmp_path):
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="cannot be combined with --health"):
+        main(["quickstart", "--out", str(tmp_path), "--checkpoint", "--health"])
+
+
+def test_checkpoint_rejects_bad_cadence(tmp_path, monkeypatch):
+    from repro.exceptions import ConfigurationError
+
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(ConfigurationError, match="cadence must be >= 1"):
+        main(["replicate", "--seeds", "1", "--horizon", "60", "--checkpoint", "0"])
+
+
+def test_resume_requires_a_manifest(tmp_path):
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="no checkpoint manifest"):
+        main(
+            ["replicate", "--seeds", "1", "--horizon", "60",
+             "--resume", str(tmp_path / "nope")]
+        )
+
+
+def test_replicate_checkpoint_then_resume(tmp_path, monkeypatch, capsys):
+    """A checkpointed replicate leaves a manifest; --resume validates it
+    (rejecting changed flags) and replays a finished run from the cache."""
+    from repro.exceptions import ConfigurationError
+
+    monkeypatch.chdir(tmp_path)
+    assert main(
+        ["replicate", "--seeds", "2", "--horizon", "120", "--checkpoint", "60"]
+    ) == 0
+    first = capsys.readouterr().out
+    assert "accept_ratio" in first
+    ckpt = Path("results/replicate/checkpoints")
+    assert (ckpt / "manifest.json").exists()
+
+    with pytest.raises(ConfigurationError, match="horizon"):
+        main(
+            ["replicate", "--seeds", "2", "--horizon", "80",
+             "--resume", str(ckpt)]
+        )
+
+    assert main(
+        ["replicate", "--seeds", "2", "--horizon", "120", "--resume", str(ckpt)]
+    ) == 0
+    assert "accept_ratio" in capsys.readouterr().out

@@ -9,7 +9,11 @@ should not pay for).
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -17,11 +21,13 @@ import pytest
 from repro.analysis.replication import replicate_policies
 from repro.bandits import OptPolicy, make_policy
 from repro.datasets.synthetic import SyntheticConfig, build_world
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkUnitTimeoutError
 from repro.experiments.grid import sweep
+from repro.io.checkpoint import ExecutorCheckpoint
 from repro.parallel import (
     GridCell,
     ReplicationCell,
+    UnitFailure,
     resolve_jobs,
     run_grid_cell,
     run_replication_cell,
@@ -91,6 +97,201 @@ def test_run_work_units_preserves_order_across_processes():
 def test_run_work_units_propagates_worker_errors_across_processes():
     with pytest.raises(ConfigurationError, match="boom"):
         run_work_units(_fail_on_three, [1, 2, 3, 4], jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance
+# ----------------------------------------------------------------------
+def _touch_and_square(args) -> int:
+    """Record that this unit actually executed, then square it."""
+    directory, value = args
+    (Path(directory) / f"ran-{value}").touch()
+    return value * value
+
+
+def _sleep_seconds(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _kill_once_then_square(args) -> int:
+    """SIGKILL the first worker process to claim the marker file."""
+    marker, value = args
+    try:
+        with open(marker, "x"):
+            pass
+    except FileExistsError:
+        return value * value
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _kill_on_seven(value: int) -> int:
+    if value == 7:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def _replication_cell_killed_once(args):
+    """Replication cell behind a kill-once trap (retry equivalence)."""
+    marker, cell = args
+    try:
+        with open(marker, "x"):
+            pass
+    except FileExistsError:
+        return run_replication_cell(cell)
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def test_run_work_units_validates_fault_tolerance_arguments():
+    with pytest.raises(ConfigurationError, match="timeout"):
+        run_work_units(_square, [1], timeout=0)
+    with pytest.raises(ConfigurationError, match="timeout"):
+        run_work_units(_square, [1], timeout=-2.5)
+    with pytest.raises(ConfigurationError, match="retries"):
+        run_work_units(_square, [1], retries=-1)
+
+
+def test_keep_going_records_failures_in_unit_order():
+    results = run_work_units(_fail_on_three, [1, 2, 3, 4], jobs=1, keep_going=True)
+    assert results[:2] == [1, 2] and results[3] == 4
+    failure = results[2]
+    assert isinstance(failure, UnitFailure)
+    assert failure.index == 2
+    assert failure.error_type == "ConfigurationError"
+    assert "boom" in failure.message
+
+
+def test_serial_error_is_annotated_with_unit_index():
+    with pytest.raises(ConfigurationError, match="boom") as excinfo:
+        run_work_units(_fail_on_three, [1, 3], jobs=1)
+    assert "raised by work unit 1" in getattr(excinfo.value, "__notes__", [])
+
+
+def test_serial_resume_replays_cached_units(tmp_path):
+    units = [(str(tmp_path / "ran"), value) for value in (2, 5)]
+    (tmp_path / "ran").mkdir()
+    checkpoint_dir = tmp_path / "ckpt"
+    first = run_work_units(
+        _touch_and_square, units, jobs=1, checkpoint=ExecutorCheckpoint(checkpoint_dir)
+    )
+    assert first == [4, 25]
+    for path in (tmp_path / "ran").iterdir():
+        path.unlink()
+    resumed = run_work_units(
+        _touch_and_square,
+        units,
+        jobs=1,
+        checkpoint=ExecutorCheckpoint(checkpoint_dir, resume=True),
+    )
+    assert resumed == first
+    assert list((tmp_path / "ran").iterdir()) == []  # nothing re-ran
+
+
+def test_resume_rejects_changed_work(tmp_path):
+    (tmp_path / "ran").mkdir()
+    checkpoint_dir = tmp_path / "ckpt"
+    run_work_units(
+        _touch_and_square,
+        [(str(tmp_path / "ran"), 2)],
+        checkpoint=ExecutorCheckpoint(checkpoint_dir),
+    )
+    with pytest.raises(ConfigurationError, match="digest mismatch"):
+        run_work_units(
+            _touch_and_square,
+            [(str(tmp_path / "ran"), 9)],  # different unit, same slot
+            checkpoint=ExecutorCheckpoint(checkpoint_dir, resume=True),
+        )
+
+
+@pytest.mark.slow
+def test_failing_unit_cancels_queued_units_promptly():
+    """One bad unit must not wait out the whole queue: cancel_futures
+    keeps the exit prompt and the note names the offender."""
+    units: list = [3] + [1, 2, 4, 5, 6, 7, 8]  # _fail_on_three fails on 3
+    start = time.perf_counter()
+    with pytest.raises(ConfigurationError, match="boom") as excinfo:
+        run_work_units(_fail_on_three, units, jobs=2)
+    assert "raised by work unit 0" in getattr(excinfo.value, "__notes__", [])
+    assert time.perf_counter() - start < 30.0
+
+
+@pytest.mark.slow
+def test_sleeping_queue_exits_promptly_on_failure():
+    units: list = [(None, "fail")] + [2.0] * 6
+
+    start = time.perf_counter()
+    with pytest.raises(TypeError) as excinfo:  # sleep((None, "fail")) raises
+        run_work_units(_sleep_seconds, units, jobs=2)
+    elapsed = time.perf_counter() - start
+    assert "raised by work unit 0" in getattr(excinfo.value, "__notes__", [])
+    # Serial drain of six 2-second sleepers would take >= 12s; the
+    # cancelled queue exits after at most the in-flight sleeper.
+    assert elapsed < 10.0
+
+
+@pytest.mark.slow
+def test_timeout_terminates_wedged_pool():
+    start = time.perf_counter()
+    with pytest.raises(WorkUnitTimeoutError, match="per-unit timeout"):
+        run_work_units(_sleep_seconds, [600.0, 600.0], jobs=2, timeout=1.0)
+    assert time.perf_counter() - start < 60.0
+
+
+@pytest.mark.slow
+def test_killed_worker_is_retried_to_identical_results(tmp_path):
+    units = [(str(tmp_path / "killed"), value) for value in range(6)]
+    results = run_work_units(_kill_once_then_square, units, jobs=2, retries=1)
+    assert results == [value * value for value in range(6)]
+
+
+@pytest.mark.slow
+def test_killed_worker_without_retries_raises():
+    with pytest.raises(Exception) as excinfo:
+        run_work_units(_kill_on_seven, [7, 7, 7, 7], jobs=2, retries=0)
+    notes = getattr(excinfo.value, "__notes__", [])
+    assert any("worker pool crashed" in note for note in notes)
+
+
+@pytest.mark.slow
+def test_keep_going_isolates_poison_unit():
+    results = run_work_units(
+        _kill_on_seven, [2, 7, 3], jobs=2, keep_going=True, retries=0
+    )
+    assert results[0] == 4 and results[2] == 9
+    failure = results[1]
+    assert isinstance(failure, UnitFailure)
+    assert failure.index == 1
+
+
+@pytest.mark.slow
+def test_replication_survives_one_worker_kill_bit_identically(tmp_path):
+    """A killed-and-retried sweep merges the same histories the serial
+    sweep produces — the acceptance bar for executor fault tolerance."""
+    cells = [
+        ReplicationCell(
+            config=tiny_config(),
+            seed=seed,
+            horizon=60,
+            policy_names=POLICIES,
+            policy_seed=1,
+        )
+        for seed in range(3)
+    ]
+    reference = run_work_units(run_replication_cell, cells, jobs=1)
+    marker = str(tmp_path / "killed")
+    survived = run_work_units(
+        _replication_cell_killed_once,
+        [(marker, cell) for cell in cells],
+        jobs=2,
+        retries=2,
+    )
+    assert os.path.exists(marker)  # the kill actually happened
+    for expected, actual in zip(reference, survived):
+        assert set(expected) == set(actual)
+        for name in expected:
+            np.testing.assert_array_equal(actual[name].rewards, expected[name].rewards)
 
 
 # ----------------------------------------------------------------------

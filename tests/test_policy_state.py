@@ -83,6 +83,41 @@ def test_disjoint_state_round_trip(tmp_path):
     )
 
 
+def test_suffix_normalisation(tmp_path):
+    """Dotted and trailing-dot names normalise cleanly to ``.npz``.
+
+    ``with_suffix`` treated everything after the last dot as a suffix,
+    so ``model.`` became ``model..npz`` and ``model.v1`` lost its
+    version tag; both now just append the extension.
+    """
+    trained = train(UcbPolicy(dim=3))
+    assert save_policy_state(trained, tmp_path / "model.v1").name == "model.v1.npz"
+    assert save_policy_state(trained, tmp_path / "model.").name == "model.npz"
+    assert save_policy_state(trained, tmp_path / "plain").name == "plain.npz"
+    assert save_policy_state(trained, tmp_path / "keep.npz").name == "keep.npz"
+
+
+def test_shape_mismatch_names_both_shapes(tmp_path):
+    shared = save_policy_state(train(UcbPolicy(dim=3)), tmp_path / "shared")
+    with pytest.raises(ConfigurationError, match=r"Y\(3, 3\)") as excinfo:
+        load_policy_state(UcbPolicy(dim=7), shared)
+    assert "Y(7, 7)" in str(excinfo.value)
+    assert "b(3,)" in str(excinfo.value) and "b(7,)" in str(excinfo.value)
+
+
+def test_disjoint_shape_mismatch_restores_nothing(tmp_path):
+    """Validation covers every model before any restore happens."""
+    disjoint = save_policy_state(
+        train(DisjointUcbPolicy(num_events=5, dim=3)), tmp_path / "disjoint"
+    )
+    receiver = DisjointUcbPolicy(num_events=5, dim=4)
+    before = [receiver.model_for(i).state.y for i in range(5)]
+    with pytest.raises(ConfigurationError, match="model 0"):
+        load_policy_state(receiver, disjoint)
+    for index, y in enumerate(before):
+        np.testing.assert_array_equal(receiver.model_for(index).state.y, y)
+
+
 def test_model_free_policies_rejected(tmp_path):
     with pytest.raises(ConfigurationError):
         save_policy_state(RandomPolicy(seed=0), tmp_path / "r")
